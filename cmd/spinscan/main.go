@@ -1,0 +1,124 @@
+// Command spinscan runs the measurement campaign of the paper against the
+// synthetic web: it generates a scaled-down population (ICANN-zone and
+// toplist domains over hosting organisations), scans every domain over
+// QUIC-lite in virtual time, and either prints the adoption tables
+// directly or writes per-connection qlog traces for cmd/spinalyze.
+//
+// Usage:
+//
+//	spinscan -scale 2000 -week 12 -summary
+//	spinscan -scale 2000 -weeks 12 -engine fast -qlog-dir ./qlogs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"quicspin/internal/analysis"
+	"quicspin/internal/asdb"
+	"quicspin/internal/scanner"
+	"quicspin/internal/websim"
+)
+
+func main() {
+	scale := flag.Int("scale", 2000, "population scale divisor (1000 = 216k CZDS domains)")
+	seed := flag.Int64("seed", 20230515, "world generation seed")
+	week := flag.Int("week", 12, "campaign week to scan (1-12)")
+	weeks := flag.Int("weeks", 0, "scan this many consecutive weeks instead of one")
+	ipv6 := flag.Bool("ipv6", false, "scan AAAA targets (Table 4 view)")
+	engine := flag.String("engine", "emulated", "scan engine: emulated or fast")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	qlogDir := flag.String("qlog-dir", "", "write per-connection qlog traces to this directory")
+	asdbOut := flag.String("asdb-out", "", "write the world's prefix→ASN→org snapshot here (for spinalyze -asdb)")
+	summary := flag.Bool("summary", true, "print adoption tables after scanning")
+	flag.Parse()
+
+	eng := scanner.EngineEmulated
+	switch *engine {
+	case "emulated":
+	case "fast":
+		eng = scanner.EngineFast
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	prof := websim.DefaultProfile()
+	prof.Scale = *scale
+	prof.Seed = *seed
+	log.Printf("generating world (scale 1/%d)...", *scale)
+	world := websim.Generate(prof)
+	log.Printf("population: %d domains, %d servers", len(world.Domains), len(world.Servers()))
+
+	if *asdbOut != "" {
+		fh, err := os.Create(*asdbOut)
+		if err != nil {
+			log.Fatalf("asdb-out: %v", err)
+		}
+		res := world.ASDB()
+		if err := asdb.WriteSnapshot(fh, res.Table, res.Orgs, world.Prefixes()); err != nil {
+			log.Fatalf("asdb snapshot: %v", err)
+		}
+		fh.Close()
+		log.Printf("wrote asdb snapshot to %s", *asdbOut)
+	}
+
+	first, last := *week, *week
+	if *weeks > 0 {
+		first, last = 1, *weeks
+	}
+	var analyzed []*analysis.Week
+	for wk := first; wk <= last; wk++ {
+		log.Printf("scanning week %d (%s, ipv6=%v)...", wk, *engine, *ipv6)
+		res := scanner.Run(world, scanner.Config{
+			Week: wk, IPv6: *ipv6, Engine: eng, Seed: prof.Seed + int64(wk), Workers: *workers,
+		})
+		if *qlogDir != "" {
+			if err := writeQlogs(res, *qlogDir); err != nil {
+				log.Fatalf("writing qlogs: %v", err)
+			}
+		}
+		analyzed = append(analyzed, analysis.Analyze(res))
+	}
+
+	if !*summary {
+		return
+	}
+	wk := analyzed[len(analyzed)-1]
+	if err := analysis.RenderOverview(wk).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := analysis.RenderOrgTable(wk, world.ASDB(), 8).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := analysis.RenderSpinConfig(wk).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := analysis.RenderSoftwareTable(wk, analysis.StandardViews()[1]).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if len(analyzed) > 1 {
+		fmt.Println()
+		l := analysis.Longitudinally(analyzed)
+		if err := analysis.RenderLongitudinal(l).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(analysis.RenderAccuracy(analyzed, 4))
+}
+
+func writeQlogs(res *scanner.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return scanner.WriteResultQlogs(res, func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, name))
+	})
+}

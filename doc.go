@@ -1,0 +1,14 @@
+// Package quicspin reproduces "Does It Spin? On the Adoption and Use of
+// QUIC's Spin Bit" (Kunze, Sander, Wehrle — IMC 2023) as a Go library: a
+// QUIC-lite transport with the RFC 9000 latency spin bit, a virtual-time
+// network emulator, a synthetic web population calibrated to the paper's
+// published marginals, the zgrab2-style measurement campaign engine, and
+// the full analysis pipeline regenerating every table and figure of the
+// paper's evaluation.
+//
+// The package root carries only documentation and the benchmark harness
+// (bench_test.go); the implementation lives under internal/ and the
+// runnable entry points under cmd/ and examples/. See README.md for a
+// tour, DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package quicspin

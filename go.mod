@@ -1,0 +1,3 @@
+module quicspin
+
+go 1.23

@@ -1,0 +1,565 @@
+// Package analysis implements the paper's evaluation pipeline (§3.3, §4,
+// §5): per-connection spin classification with the grease filter,
+// spin-vs-stack RTT accuracy in received (R) and packet-number-sorted (S)
+// order, per-list adoption aggregation (Tables 1, 3, 4), AS-organisation
+// attribution (Table 2), longitudinal RFC-compliance histograms (Fig. 2),
+// and the accuracy histograms (Figs. 3 and 4).
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"quicspin/internal/asdb"
+	"quicspin/internal/core"
+	"quicspin/internal/scanner"
+	"quicspin/internal/stats"
+	"quicspin/internal/websim"
+)
+
+// Class is the paper's per-connection (and per-domain) spin classification
+// of Table 3.
+type Class int
+
+const (
+	// ClassNone marks connections without QUIC or without 1-RTT packets.
+	ClassNone Class = iota
+	// ClassAllZero: spin bit constantly 0.
+	ClassAllZero
+	// ClassAllOne: spin bit constantly 1.
+	ClassAllOne
+	// ClassSpin: spin flips and the grease filter did not fire.
+	ClassSpin
+	// ClassGrease: spin flips but some spin RTT estimate undercuts the
+	// stack's minimum RTT — presumed per-packet greasing (§3.3).
+	ClassGrease
+)
+
+// String returns the Table 3 column name.
+func (c Class) String() string {
+	switch c {
+	case ClassAllZero:
+		return "All Zero"
+	case ClassAllOne:
+		return "All One"
+	case ClassSpin:
+		return "Spin"
+	case ClassGrease:
+		return "Grease"
+	default:
+		return "None"
+	}
+}
+
+// Conn is the full per-connection analysis.
+type Conn struct {
+	Class Class
+	// SpinRTTsR/S are the spin-bit RTT estimates in received order and
+	// after sorting by packet number.
+	SpinRTTsR, SpinRTTsS []time.Duration
+	// SpinMeanR/S are their means (0 when no samples).
+	SpinMeanR, SpinMeanS time.Duration
+	// StackMean is the mean of the QUIC stack's accepted samples.
+	StackMean time.Duration
+	// AbsR/S = spin − stack (§5.1 method 1); only meaningful when both
+	// means exist.
+	AbsR, AbsS time.Duration
+	// RatioR/S is the mapped ratio of means (§5.1 method 2): always
+	// divides by the smaller mean, negated when spin < stack.
+	RatioR, RatioS float64
+	// HasAccuracy reports that both a spin and a stack mean exist, i.e.
+	// the connection contributes to Figs. 3 and 4.
+	HasAccuracy bool
+}
+
+// AnalyzeConn runs the §3.3 methodology on one connection record.
+func AnalyzeConn(c *scanner.ConnResult) Conn {
+	out := Conn{}
+	switch c.Kind() {
+	case core.KindEmpty:
+		out.Class = ClassNone
+		return out
+	case core.KindAllZero:
+		out.Class = ClassAllZero
+		return out
+	case core.KindAllOne:
+		out.Class = ClassAllOne
+		return out
+	}
+	// Flipping: compute spin RTTs both ways.
+	out.SpinRTTsR = core.SpinRTTs(c.Observations, false)
+	out.SpinRTTsS = core.SpinRTTs(c.Observations, true)
+	out.SpinMeanR = meanDur(out.SpinRTTsR)
+	out.SpinMeanS = meanDur(out.SpinRTTsS)
+	out.StackMean = meanDur(c.StackRTTs)
+
+	// Grease filter (§3.3): any spin estimate below the stack's minimum
+	// marks the connection as presumably greased. A small guard band
+	// absorbs sub-millisecond scheduling noise: genuine per-packet
+	// greasing produces edges between back-to-back packets, i.e. samples
+	// orders of magnitude below min_rtt, while honest spin cycles can tie
+	// with min_rtt to within timestamp precision (the false positives the
+	// paper itself observes in §5.2).
+	out.Class = ClassSpin
+	stackMin := c.StackMin()
+	if stackMin > greaseGuard {
+		for _, s := range out.SpinRTTsR {
+			if s < stackMin-greaseGuard {
+				out.Class = ClassGrease
+				break
+			}
+		}
+	}
+	if out.SpinMeanR > 0 && out.StackMean > 0 {
+		out.HasAccuracy = true
+		out.AbsR = out.SpinMeanR - out.StackMean
+		out.AbsS = out.SpinMeanS - out.StackMean
+		out.RatioR = mappedRatio(out.SpinMeanR, out.StackMean)
+		out.RatioS = mappedRatio(out.SpinMeanS, out.StackMean)
+	}
+	return out
+}
+
+// greaseGuard is the tolerance below min_rtt before the grease filter
+// fires.
+const greaseGuard = time.Millisecond
+
+// mappedRatio implements §5.1: divide the larger mean by the smaller one
+// and negate the result when spin underestimates.
+func mappedRatio(spin, stack time.Duration) float64 {
+	if spin == 0 || stack == 0 {
+		return 0
+	}
+	if spin >= stack {
+		return float64(spin) / float64(stack)
+	}
+	return -float64(stack) / float64(spin)
+}
+
+func meanDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return s / time.Duration(len(ds))
+}
+
+// DomainClass derives the Table 3 per-domain classification from its
+// connections: spin activity wins over greasing, which wins over the
+// fixed-value categories.
+func DomainClass(conns []Conn) Class {
+	best := ClassNone
+	for i := range conns {
+		c := conns[i].Class
+		switch {
+		case c == ClassSpin:
+			return ClassSpin
+		case c == ClassGrease && best != ClassSpin:
+			best = ClassGrease
+		case c == ClassAllOne && best < ClassAllOne:
+			best = ClassAllOne
+		case c == ClassAllZero && best < ClassAllZero:
+			best = ClassAllZero
+		}
+	}
+	return best
+}
+
+// Week is a fully analysed measurement run.
+type Week struct {
+	Week int
+	IPv6 bool
+	// Domains mirrors the scan result's order.
+	Domains []DomainAnalysis
+}
+
+// DomainAnalysis carries per-domain classification plus per-conn analyses.
+type DomainAnalysis struct {
+	Src   *scanner.DomainResult
+	Conns []Conn
+	Class Class
+}
+
+// Analyze runs the pipeline over one scan result.
+func Analyze(r *scanner.Result) *Week {
+	w := &Week{Week: r.Week, IPv6: r.IPv6, Domains: make([]DomainAnalysis, len(r.Domains))}
+	for i := range r.Domains {
+		d := &r.Domains[i]
+		da := DomainAnalysis{Src: d, Conns: make([]Conn, len(d.Conns))}
+		for j := range d.Conns {
+			da.Conns[j] = AnalyzeConn(&d.Conns[j])
+		}
+		da.Class = DomainClass(da.Conns)
+		w.Domains[i] = da
+	}
+	return w
+}
+
+// View selects which domains contribute to a table row.
+type View struct {
+	Label string
+	Match func(d *scanner.DomainResult) bool
+}
+
+// StandardViews returns the paper's three list views.
+func StandardViews() []View {
+	return []View{
+		{Label: "Toplists", Match: func(d *scanner.DomainResult) bool { return d.Toplist }},
+		{Label: "CZDS", Match: func(d *scanner.DomainResult) bool { return websim.InZoneView(d.TLD) }},
+		{Label: "com/net/org", Match: func(d *scanner.DomainResult) bool { return websim.ComNetOrg(d.TLD) }},
+	}
+}
+
+// OverviewRow is one block of Table 1 / Table 4.
+type OverviewRow struct {
+	Label                                                   string
+	TotalDomains, ResolvedDomains, QUICDomains, SpinDomains int
+	TotalIPs, QUICIPs, SpinIPs                              int
+}
+
+// Overview aggregates the Table 1/4 counts for one view.
+func Overview(w *Week, v View) OverviewRow {
+	row := OverviewRow{Label: v.Label}
+	type ipState struct{ quic, spin bool }
+	ips := map[string]*ipState{}
+	for i := range w.Domains {
+		da := &w.Domains[i]
+		d := da.Src
+		if !v.Match(d) {
+			continue
+		}
+		row.TotalDomains++
+		if !d.Resolved {
+			continue
+		}
+		row.ResolvedDomains++
+		if d.QUIC() {
+			row.QUICDomains++
+		}
+		if da.Class == ClassSpin {
+			row.SpinDomains++
+		}
+		for j := range d.Conns {
+			c := &d.Conns[j]
+			if !c.IP.IsValid() {
+				continue
+			}
+			key := c.IP.String()
+			st := ips[key]
+			if st == nil {
+				st = &ipState{}
+				ips[key] = st
+			}
+			if c.QUIC {
+				st.quic = true
+			}
+			if da.Conns[j].Class == ClassSpin {
+				st.spin = true
+			}
+		}
+	}
+	for _, st := range ips {
+		row.TotalIPs++
+		if st.quic {
+			row.QUICIPs++
+		}
+		if st.spin {
+			row.SpinIPs++
+		}
+	}
+	return row
+}
+
+// ConfigRow is one row of Table 3.
+type ConfigRow struct {
+	Label                               string
+	QUICDomains                         int
+	AllZero, AllOne, Spin, Grease, None int
+}
+
+// SpinConfig aggregates the Table 3 classification for one view.
+func SpinConfig(w *Week, v View) ConfigRow {
+	row := ConfigRow{Label: v.Label}
+	for i := range w.Domains {
+		da := &w.Domains[i]
+		if !v.Match(da.Src) || !da.Src.QUIC() {
+			continue
+		}
+		row.QUICDomains++
+		switch da.Class {
+		case ClassAllZero:
+			row.AllZero++
+		case ClassAllOne:
+			row.AllOne++
+		case ClassSpin:
+			row.Spin++
+		case ClassGrease:
+			row.Grease++
+		default:
+			row.None++
+		}
+	}
+	return row
+}
+
+// OrgRow is one row of Table 2.
+type OrgRow struct {
+	Org        string
+	Rank       int // 1-based by total connections
+	TotalConns int
+	SpinConns  int
+	SpinRank   int // 1-based by spin connections; 0 when none
+}
+
+// OrgTable attributes QUIC connections to AS organisations via the
+// IP→ASN→org resolver and returns rows ranked by connection count; orgs
+// beyond topN are merged into an "<other>" row appended last.
+func OrgTable(w *Week, res *asdb.Resolver, v View, topN int) []OrgRow {
+	totals := map[string]*OrgRow{}
+	for i := range w.Domains {
+		da := &w.Domains[i]
+		if !v.Match(da.Src) {
+			continue
+		}
+		for j := range da.Src.Conns {
+			c := &da.Src.Conns[j]
+			if !c.QUIC {
+				continue
+			}
+			org := res.OrgOf(c.IP)
+			r := totals[org]
+			if r == nil {
+				r = &OrgRow{Org: org}
+				totals[org] = r
+			}
+			r.TotalConns++
+			if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
+				// Table 2 counts "connections with some spin bit
+				// activity".
+				r.SpinConns++
+			}
+		}
+	}
+	rows := make([]OrgRow, 0, len(totals))
+	for _, r := range totals {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalConns != rows[j].TotalConns {
+			return rows[i].TotalConns > rows[j].TotalConns
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	// Spin ranks over the full set.
+	bySpin := make([]int, len(rows))
+	for i := range bySpin {
+		bySpin[i] = i
+	}
+	sort.Slice(bySpin, func(a, b int) bool {
+		return rows[bySpin[a]].SpinConns > rows[bySpin[b]].SpinConns
+	})
+	for rank, idx := range bySpin {
+		if rows[idx].SpinConns > 0 {
+			rows[idx].SpinRank = rank + 1
+		}
+	}
+	if len(rows) <= topN {
+		return rows
+	}
+	other := OrgRow{Org: "<other>"}
+	for _, r := range rows[topN:] {
+		other.TotalConns += r.TotalConns
+		other.SpinConns += r.SpinConns
+	}
+	return append(rows[:topN:topN], other)
+}
+
+// --- Fig. 2: longitudinal RFC compliance --------------------------------
+
+// Longitudinal is the Fig. 2 dataset.
+type Longitudinal struct {
+	Weeks int
+	// EverSpun is the number of domains with spin activity in any week.
+	EverSpun int
+	// Considered is the subset with a working QUIC connection every week.
+	Considered int
+	// Share[k] is the fraction of considered domains that spun in exactly
+	// k weeks (k = 0..Weeks).
+	Share []float64
+	// RFC9000 and RFC9312 are the binomial reference shares for disabling
+	// on one in 16 / one in 8 connections.
+	RFC9000, RFC9312 []float64
+}
+
+// Longitudinally computes the Fig. 2 histogram from one analysed run per
+// week. Domains are matched by name, so the weekly runs may come from
+// independently loaded qlog sets.
+func Longitudinally(weeks []*Week) Longitudinal {
+	n := len(weeks)
+	out := Longitudinal{Weeks: n}
+	if n == 0 {
+		return out
+	}
+	type track struct {
+		everSpun  bool
+		quicWeeks int
+		spinWeeks int
+	}
+	domains := map[string]*track{}
+	for _, w := range weeks {
+		for i := range w.Domains {
+			da := &w.Domains[i]
+			t := domains[da.Src.Domain]
+			if t == nil {
+				t = &track{}
+				domains[da.Src.Domain] = t
+			}
+			if da.Src.QUIC() {
+				t.quicWeeks++
+			}
+			if da.Class == ClassSpin {
+				t.everSpun = true
+				t.spinWeeks++
+			}
+		}
+	}
+	counts := make([]int, n+1)
+	for _, t := range domains {
+		if !t.everSpun {
+			continue
+		}
+		out.EverSpun++
+		if t.quicWeeks < n {
+			continue // no working connection in every week (§4.3)
+		}
+		out.Considered++
+		counts[t.spinWeeks]++
+	}
+	out.Share = make([]float64, n+1)
+	for k := range counts {
+		if out.Considered > 0 {
+			out.Share[k] = float64(counts[k]) / float64(out.Considered)
+		}
+	}
+	out.RFC9000 = rfcShares(n, 16)
+	out.RFC9312 = rfcShares(n, 8)
+	return out
+}
+
+// rfcShares computes the theoretical share of domains spinning in k of n
+// weeks when the spin bit is disabled on one in disableN connections:
+// Binomial(n, 1−1/disableN).
+func rfcShares(n, disableN int) []float64 {
+	p := 1 - 1/float64(disableN)
+	out := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = stats.BinomialPMF(n, k, p)
+	}
+	return out
+}
+
+// --- Figs. 3 and 4: accuracy histograms ---------------------------------
+
+// AccuracySet selects which connections feed a histogram.
+type AccuracySet struct {
+	// Class is ClassSpin or ClassGrease.
+	Class Class
+	// Sorted selects the packet-number-sorted (S) variant over received
+	// order (R).
+	Sorted bool
+}
+
+// Fig3Edges are the absolute-difference bins in milliseconds.
+var Fig3Edges = []float64{-200, -100, -50, -25, 0, 25, 50, 100, 200}
+
+// Fig4Edges are the mapped-ratio bins (values lie in (−∞,−1] ∪ [1,∞)).
+var Fig4Edges = []float64{-3, -2, -1.25, 1.25, 2, 3}
+
+// AbsHistogram builds the Fig. 3 histogram (absolute difference of means,
+// in milliseconds) over connections in the given set.
+func AbsHistogram(weeks []*Week, set AccuracySet) *stats.Histogram {
+	h := stats.NewHistogram(Fig3Edges)
+	eachAccuracyConn(weeks, set.Class, func(c *Conn) {
+		d := c.AbsR
+		if set.Sorted {
+			d = c.AbsS
+		}
+		h.Add(float64(d) / float64(time.Millisecond))
+	})
+	return h
+}
+
+// RatioHistogram builds the Fig. 4 histogram (mapped ratio of means).
+func RatioHistogram(weeks []*Week, set AccuracySet) *stats.Histogram {
+	h := stats.NewHistogram(Fig4Edges)
+	eachAccuracyConn(weeks, set.Class, func(c *Conn) {
+		r := c.RatioR
+		if set.Sorted {
+			r = c.RatioS
+		}
+		h.Add(r)
+	})
+	return h
+}
+
+func eachAccuracyConn(weeks []*Week, class Class, fn func(c *Conn)) {
+	for _, w := range weeks {
+		for i := range w.Domains {
+			for j := range w.Domains[i].Conns {
+				c := &w.Domains[i].Conns[j]
+				if c.Class == class && c.HasAccuracy {
+					fn(c)
+				}
+			}
+		}
+	}
+}
+
+// ReorderingImpact quantifies §5.2's R-vs-S comparison.
+type ReorderingImpact struct {
+	// Conns is the number of accuracy-contributing connections.
+	Conns int
+	// Differing is how many have different R and S means.
+	Differing int
+	// Sub1ms is how many differing connections change by less than 1 ms.
+	Sub1ms int
+	// Improved is how many differing connections move closer to the stack
+	// estimate after sorting.
+	Improved int
+}
+
+// Reordering computes the impact of packet reordering on spin estimates.
+func Reordering(weeks []*Week) ReorderingImpact {
+	var out ReorderingImpact
+	eachAccuracyConn(weeks, ClassSpin, func(c *Conn) {
+		out.Conns++
+		if c.SpinMeanR == c.SpinMeanS {
+			return
+		}
+		out.Differing++
+		diff := c.SpinMeanR - c.SpinMeanS
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < time.Millisecond {
+			out.Sub1ms++
+		}
+		absR, absS := c.AbsR, c.AbsS
+		if absR < 0 {
+			absR = -absR
+		}
+		if absS < 0 {
+			absS = -absS
+		}
+		if absS < absR {
+			out.Improved++
+		}
+	})
+	return out
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+
+	"quicspin/internal/asdb"
+	"quicspin/internal/report"
+	"quicspin/internal/stats"
+)
+
+// RenderOverview renders Table 1 (IPv4) or Table 4 (IPv6) for the three
+// standard views.
+func RenderOverview(w *Week) *report.Table {
+	title := "Table 1. Overview of IPv4 results"
+	if w.IPv6 {
+		title = "Table 4. Overview of IPv6 results"
+	}
+	t := report.NewTable(title+fmt.Sprintf(" (week %d)", w.Week),
+		"List", "Unit", "Total", "Resolved", "QUIC", "Spin", "Spin%")
+	for _, v := range StandardViews() {
+		row := Overview(w, v)
+		t.AddRow(v.Label, "#Domains",
+			report.Count(row.TotalDomains), report.Count(row.ResolvedDomains),
+			report.Count(row.QUICDomains), report.Count(row.SpinDomains),
+			stats.Percent(row.SpinDomains, row.QUICDomains))
+		t.AddRow("", "#IPs",
+			report.Count(row.TotalIPs), "",
+			report.Count(row.QUICIPs), report.Count(row.SpinIPs),
+			stats.Percent(row.SpinIPs, row.QUICIPs))
+	}
+	return t
+}
+
+// RenderOrgTable renders Table 2 for the com/net/org view.
+func RenderOrgTable(w *Week, res *asdb.Resolver, topN int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 2. QUIC connections and spin activity per AS organization (com/net/org, week %d)", w.Week),
+		"Rank", "Total #", "AS Organization", "Spin #", "Spin %", "Spin Rank")
+	view := StandardViews()[2]
+	for _, r := range OrgTable(w, res, view, topN) {
+		rank, spinRank := "", ""
+		if r.Rank > 0 {
+			rank = fmt.Sprintf("%d", r.Rank)
+		}
+		if r.SpinRank > 0 {
+			spinRank = fmt.Sprintf("%d", r.SpinRank)
+		}
+		t.AddRow(rank, report.Count(r.TotalConns), r.Org,
+			report.Count(r.SpinConns), stats.Percent(r.SpinConns, r.TotalConns), spinRank)
+	}
+	return t
+}
+
+// RenderSpinConfig renders Table 3.
+func RenderSpinConfig(w *Week) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 3. Spin behavior of all QUIC domains (week %d)", w.Week),
+		"List", "All Zero", "All One", "Spin", "Grease")
+	for _, v := range StandardViews() {
+		r := SpinConfig(w, v)
+		pc := func(n int) string {
+			return fmt.Sprintf("%s (%s)", report.Count(n), stats.Percent(n, r.QUICDomains))
+		}
+		t.AddRow(v.Label, pc(r.AllZero), pc(r.AllOne), report.Count(r.Spin), pc(r.Grease))
+	}
+	return t
+}
+
+// RenderLongitudinal renders the Fig. 2 histogram with RFC reference
+// columns.
+func RenderLongitudinal(l Longitudinal) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 2. Weeks with spin bit enabled (%s domains ever spun, %s considered)",
+			report.Count(l.EverSpun), report.Count(l.Considered)),
+		"Weeks", "Share", "RFC 9312 (1/8)", "RFC 9000 (1/16)")
+	for k := 1; k <= l.Weeks; k++ {
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.1f%%", l.Share[k]*100),
+			fmt.Sprintf("%.1f%%", l.RFC9312[k]*100),
+			fmt.Sprintf("%.1f%%", l.RFC9000[k]*100))
+	}
+	return t
+}
+
+// RenderAccuracy renders one Fig. 3 or Fig. 4 histogram (abs difference or
+// mapped ratio) with the paper's headline shares below it.
+func RenderAccuracy(weeks []*Week, fig int) string {
+	out := ""
+	for _, set := range []struct {
+		name string
+		set  AccuracySet
+	}{
+		{"Spin (R)", AccuracySet{Class: ClassSpin}},
+		{"Spin (S)", AccuracySet{Class: ClassSpin, Sorted: true}},
+		{"Grease (R)", AccuracySet{Class: ClassGrease}},
+		{"Grease (S)", AccuracySet{Class: ClassGrease, Sorted: true}},
+	} {
+		var h *stats.Histogram
+		var unit string
+		if fig == 3 {
+			h = AbsHistogram(weeks, set.set)
+			unit = "ms abs difference (spin − stack)"
+		} else {
+			h = RatioHistogram(weeks, set.set)
+			unit = "mapped ratio of means"
+		}
+		out += fmt.Sprintf("Figure %d — %s, %s (n=%d)\n%s\n", fig, set.name, unit, h.N, h)
+	}
+	return out
+}
+
+// AccuracyHeadlines computes the §5.2 headline numbers on the Spin (R)
+// set: share overestimating, share within 25 ms, share over 200 ms (Fig.
+// 3), and the within-25 %, within-2x and over-3x ratio shares (Fig. 4).
+type AccuracyHeadlines struct {
+	N                 int
+	OverestimateShare float64
+	Within25ms        float64
+	Over200ms         float64
+	Within25pct       float64
+	Within2x          float64
+	Over3x            float64
+}
+
+// Headlines computes the headline accuracy shares over the spin set in
+// received order.
+func Headlines(weeks []*Week) AccuracyHeadlines {
+	var h AccuracyHeadlines
+	var over, w25, o200, w125, w2, o3 int
+	eachAccuracyConn(weeks, ClassSpin, func(c *Conn) {
+		h.N++
+		if c.AbsR > 0 {
+			over++
+		}
+		absMs := float64(c.AbsR) / 1e6
+		if absMs >= -25 && absMs <= 25 {
+			w25++
+		}
+		if absMs > 200 {
+			o200++
+		}
+		r := c.RatioR
+		if r >= -1.25 && r <= 1.25 {
+			w125++
+		}
+		if r >= -2 && r <= 2 {
+			w2++
+		}
+		if r > 3 || r < -3 {
+			o3++
+		}
+	})
+	if h.N == 0 {
+		return h
+	}
+	n := float64(h.N)
+	h.OverestimateShare = float64(over) / n
+	h.Within25ms = float64(w25) / n
+	h.Over200ms = float64(o200) / n
+	h.Within25pct = float64(w125) / n
+	h.Within2x = float64(w2) / n
+	h.Over3x = float64(o3) / n
+	return h
+}

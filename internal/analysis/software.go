@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"quicspin/internal/report"
+	"quicspin/internal/stats"
+)
+
+// SoftwareRow attributes connections to webserver software via the HTTP
+// Server header (§4.2 "Webserver support": the paper finds LiteSpeed
+// behind >80 % of spinning connections, plus imunify360-webshield, which
+// it suspects builds on LiteSpeed).
+type SoftwareRow struct {
+	Software  string
+	Conns     int
+	SpinConns int
+}
+
+// SoftwareTable aggregates QUIC connections by Server header for one view,
+// restricted — like the paper — to connections where the header could be
+// matched unambiguously (i.e. a response was received). Rows are ordered
+// by spinning connections.
+func SoftwareTable(w *Week, v View) []SoftwareRow {
+	agg := map[string]*SoftwareRow{}
+	for i := range w.Domains {
+		da := &w.Domains[i]
+		if !v.Match(da.Src) {
+			continue
+		}
+		for j := range da.Src.Conns {
+			c := &da.Src.Conns[j]
+			if !c.QUIC || c.Server == "" {
+				continue
+			}
+			r := agg[c.Server]
+			if r == nil {
+				r = &SoftwareRow{Software: c.Server}
+				agg[c.Server] = r
+			}
+			r.Conns++
+			if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
+				r.SpinConns++
+			}
+		}
+	}
+	rows := make([]SoftwareRow, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SpinConns != rows[j].SpinConns {
+			return rows[i].SpinConns > rows[j].SpinConns
+		}
+		if rows[i].Conns != rows[j].Conns {
+			return rows[i].Conns > rows[j].Conns
+		}
+		return rows[i].Software < rows[j].Software
+	})
+	return rows
+}
+
+// SpinShareOfSoftware returns the given software's share of all spinning
+// connections in the view (the paper's ">80 % LiteSpeed" number).
+func SpinShareOfSoftware(rows []SoftwareRow, software string) float64 {
+	var total, match int
+	for _, r := range rows {
+		total += r.SpinConns
+		if r.Software == software {
+			match += r.SpinConns
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
+// RenderSoftwareTable renders the §4.2 webserver attribution.
+func RenderSoftwareTable(w *Week, v View) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Webserver attribution (%s, week %d) — §4.2", v.Label, w.Week),
+		"Server", "QUIC conns", "Spin conns", "Spin %")
+	for _, r := range SoftwareTable(w, v) {
+		t.AddRow(r.Software, report.Count(r.Conns), report.Count(r.SpinConns),
+			stats.Percent(r.SpinConns, r.Conns))
+	}
+	return t
+}

@@ -1,0 +1,183 @@
+package asdb
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tb := NewTable()
+	for p, asn := range map[string]uint32{
+		"10.0.0.0/8":    100,
+		"10.1.0.0/16":   200,
+		"10.1.2.0/24":   300,
+		"0.0.0.0/0":     1,
+		"2001:db8::/32": 6400,
+	} {
+		if err := tb.Insert(mustPrefix(t, p), asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		ip   string
+		want uint32
+	}{
+		{"10.1.2.3", 300},
+		{"10.1.3.1", 200},
+		{"10.9.9.9", 100},
+		{"192.0.2.1", 1},
+		{"2001:db8::1", 6400},
+	}
+	for _, c := range cases {
+		got, ok := tb.Lookup(netip.MustParseAddr(c.ip))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = (%d, %v), want %d", c.ip, got, ok, c.want)
+		}
+	}
+	if _, ok := tb.Lookup(netip.MustParseAddr("2001:dead::1")); ok {
+		t.Error("v6 lookup matched without covering prefix")
+	}
+	if tb.Len() != 5 {
+		t.Errorf("Len = %d, want 5", tb.Len())
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tb := NewTable()
+	p := mustPrefix(t, "192.0.2.0/24")
+	tb.Insert(p, 1)
+	tb.Insert(p, 2)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d after replace", tb.Len())
+	}
+	if asn, _ := tb.Lookup(netip.MustParseAddr("192.0.2.7")); asn != 2 {
+		t.Errorf("asn = %d, want 2", asn)
+	}
+}
+
+func TestLookupInvalid(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Lookup(netip.Addr{}); ok {
+		t.Error("invalid address matched")
+	}
+	if err := tb.Insert(netip.Prefix{}, 1); err == nil {
+		t.Error("invalid prefix inserted")
+	}
+}
+
+func TestOrgResolution(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(mustPrefix(t, "198.51.100.0/24"), 13335)
+	orgs := NewOrgDB()
+	orgs.Add(13335, Org{Name: "Cloudflare"})
+	r := &Resolver{Table: tb, Orgs: orgs}
+	if got := r.OrgOf(netip.MustParseAddr("198.51.100.9")); got != "Cloudflare" {
+		t.Errorf("OrgOf = %q", got)
+	}
+	if got := r.OrgOf(netip.MustParseAddr("203.0.113.1")); got != "<unknown>" {
+		t.Errorf("unattributed = %q", got)
+	}
+	tb.Insert(mustPrefix(t, "203.0.113.0/24"), 999)
+	if got := r.OrgOf(netip.MustParseAddr("203.0.113.1")); got != "AS999" {
+		t.Errorf("org-less ASN = %q", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	prefixes := map[netip.Prefix]uint32{
+		netip.MustParsePrefix("10.0.0.0/8"):    100,
+		netip.MustParsePrefix("2001:db8::/32"): 200,
+	}
+	tb := NewTable()
+	for p, a := range prefixes {
+		tb.Insert(p, a)
+	}
+	orgs := NewOrgDB()
+	orgs.Add(100, Org{Name: "Example Hosting Inc"})
+	orgs.Add(200, Org{Name: "OVH SAS"})
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, tb, orgs, prefixes); err != nil {
+		t.Fatal(err)
+	}
+	tb2, orgs2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn, _ := tb2.Lookup(netip.MustParseAddr("10.1.1.1")); asn != 100 {
+		t.Errorf("restored table lookup = %d", asn)
+	}
+	if o, ok := orgs2.Lookup(200); !ok || o.Name != "OVH SAS" {
+		t.Errorf("restored org = %+v (names with spaces must survive)", o)
+	}
+	if orgs2.Len() != 2 {
+		t.Errorf("orgs len = %d", orgs2.Len())
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	cases := []string{
+		"prefix notacidr 5\n",
+		"prefix 10.0.0.0/8 notanumber\n",
+		"org abc Name\n",
+		"garbage line\n",
+		"prefix 10.0.0.0/8\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ReadSnapshot(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadSnapshot(%q) succeeded", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, _, err := ReadSnapshot(strings.NewReader("# comment\n\nprefix 10.0.0.0/8 1\n")); err != nil {
+		t.Errorf("comment handling: %v", err)
+	}
+}
+
+func TestQuickHostsMatchTheirPrefix(t *testing.T) {
+	// Property: an IP constructed inside an inserted /16 must resolve to
+	// that prefix's ASN unless a longer inserted prefix covers it.
+	tb := NewTable()
+	tb.Insert(netip.MustParsePrefix("172.16.0.0/16"), 1)
+	tb.Insert(netip.MustParsePrefix("172.16.128.0/24"), 2)
+	f := func(b3, b4 uint8) bool {
+		ip := netip.AddrFrom4([4]byte{172, 16, b3, b4})
+		asn, ok := tb.Lookup(ip)
+		if !ok {
+			return false
+		}
+		if b3 == 128 {
+			return asn == 2
+		}
+		return asn == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := NewTable()
+	// A spread of /20 prefixes.
+	for i := 0; i < 4096; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i >> 4), byte(i << 4), 0, 0}), 12)
+		tb.Insert(p, uint32(i))
+	}
+	ip := netip.MustParseAddr("200.16.1.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(ip)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// SampleFilter judges whether a spin-bit RTT sample is plausible. RFC 9312
+// §4.2 recommends such heuristics because reordering around spin edges can
+// produce ultra-short spin cycles (Fig. 1b of the paper).
+type SampleFilter interface {
+	// Accept reports whether the sample should feed RTT estimates. Filters
+	// may keep state; Accept is called in sample arrival order.
+	Accept(rtt time.Duration) bool
+}
+
+// StaticThreshold rejects samples below a fixed floor. A few hundred
+// microseconds already removes the sub-millisecond artifacts reordering
+// produces while never touching genuine WAN RTTs.
+type StaticThreshold struct {
+	// Min is the smallest acceptable sample.
+	Min time.Duration
+}
+
+// Accept implements SampleFilter.
+func (f StaticThreshold) Accept(rtt time.Duration) bool { return rtt >= f.Min }
+
+// RelativeFilter rejects samples smaller than Fraction times the running
+// median of previously accepted samples, after a warm-up of WarmUp accepted
+// samples. This is the style of dynamic heuristic RFC 9312 sketches.
+type RelativeFilter struct {
+	// Fraction of the running median below which samples are rejected.
+	// A typical value is 0.1.
+	Fraction float64
+	// WarmUp is the number of samples accepted unconditionally first.
+	WarmUp int
+
+	accepted []time.Duration
+}
+
+// Accept implements SampleFilter.
+func (f *RelativeFilter) Accept(rtt time.Duration) bool {
+	if len(f.accepted) < f.WarmUp {
+		f.accepted = append(f.accepted, rtt)
+		return true
+	}
+	if float64(rtt) < f.Fraction*float64(f.median()) {
+		return false
+	}
+	f.accepted = append(f.accepted, rtt)
+	return true
+}
+
+func (f *RelativeFilter) median() time.Duration {
+	tmp := make([]time.Duration, len(f.accepted))
+	copy(tmp, f.accepted)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[len(tmp)/2]
+}
+
+// FilterChain applies several filters in order; a sample must pass all.
+type FilterChain []SampleFilter
+
+// Accept implements SampleFilter.
+func (c FilterChain) Accept(rtt time.Duration) bool {
+	for _, f := range c {
+		if !f.Accept(rtt) {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid Edge Counter (VEC) of De Vaere et al., "Three Bits Suffice"
+// (IMC 2018). The VEC is a two-bit counter accompanying the spin bit that
+// marks how trustworthy an edge is; it never entered RFC 9000 but this
+// library implements it as an extension carried in the two reserved bits of
+// the short header (the paper's §2.1 mentions it as the dropped companion
+// mechanism).
+const (
+	// VECInvalid marks a packet that carries no edge.
+	VECInvalid uint8 = 0
+	// VECEdgeUnverified marks an edge whose validity is unknown (set by a
+	// sender starting a new wave).
+	VECEdgeUnverified uint8 = 1
+	// VECEdgeDelayed marks an edge that was reflected after being held for
+	// the peer's processing, one step from fully valid.
+	VECEdgeDelayed uint8 = 2
+	// VECFullyValid marks an edge that completed a full validated cycle;
+	// observers may use it unconditionally.
+	VECFullyValid uint8 = 3
+)
+
+// VECState implements the endpoint side of the Valid Edge Counter. Each
+// endpoint tracks the VEC of the latest incoming edge and stamps outgoing
+// packets: packets that do not carry an edge send VECInvalid; an outgoing
+// edge carries min(incomingVEC+1, 3), or VECEdgeUnverified when the wave is
+// (re)started locally.
+type VECState struct {
+	incomingVEC uint8
+	lastSpin    bool
+	haveIn      bool
+	lastSent    bool
+	haveOut     bool
+}
+
+// OnReceive records an incoming packet's spin and VEC values. Call only for
+// packets that advance the largest packet number (same rule as the spin
+// state machine).
+func (v *VECState) OnReceive(spin bool, vec uint8) {
+	if v.haveIn && spin != v.lastSpin {
+		// Incoming edge: remember its counter.
+		v.incomingVEC = vec
+	} else if !v.haveIn {
+		v.incomingVEC = vec
+	}
+	v.haveIn = true
+	v.lastSpin = spin
+}
+
+// Next returns the VEC value for an outgoing packet with spin value spin.
+func (v *VECState) Next(spin bool) uint8 {
+	defer func() { v.lastSent = spin; v.haveOut = true }()
+	if v.haveOut && spin == v.lastSent {
+		return VECInvalid // not an edge
+	}
+	if !v.haveIn {
+		// Locally started wave: unverified edge.
+		return VECEdgeUnverified
+	}
+	next := v.incomingVEC + 1
+	if next > VECFullyValid {
+		next = VECFullyValid
+	}
+	if next < VECEdgeUnverified {
+		next = VECEdgeUnverified
+	}
+	return next
+}

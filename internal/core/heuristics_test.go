@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStaticThreshold(t *testing.T) {
+	f := StaticThreshold{Min: 5 * time.Millisecond}
+	if f.Accept(4 * time.Millisecond) {
+		t.Error("accepted below floor")
+	}
+	if !f.Accept(5 * time.Millisecond) {
+		t.Error("rejected at floor")
+	}
+	if !f.Accept(time.Second) {
+		t.Error("rejected large sample")
+	}
+}
+
+func TestRelativeFilter(t *testing.T) {
+	f := &RelativeFilter{Fraction: 0.1, WarmUp: 3}
+	// Warm-up accepts everything.
+	for _, d := range []time.Duration{100, 110, 90} {
+		if !f.Accept(d * time.Millisecond) {
+			t.Fatalf("warm-up rejected %v", d)
+		}
+	}
+	// Median ≈ 100ms → 5ms is below 10% and must be rejected.
+	if f.Accept(5 * time.Millisecond) {
+		t.Error("accepted 5ms against ~100ms median")
+	}
+	if !f.Accept(50 * time.Millisecond) {
+		t.Error("rejected plausible 50ms")
+	}
+	// Rejected samples must not drag the median down.
+	for i := 0; i < 10; i++ {
+		f.Accept(time.Millisecond)
+	}
+	if f.Accept(2 * time.Millisecond) {
+		t.Error("median corrupted by rejected samples")
+	}
+}
+
+func TestFilterChain(t *testing.T) {
+	c := FilterChain{
+		StaticThreshold{Min: time.Millisecond},
+		&RelativeFilter{Fraction: 0.1, WarmUp: 1},
+	}
+	if !c.Accept(100 * time.Millisecond) {
+		t.Error("chain rejected first sample")
+	}
+	if c.Accept(500 * time.Microsecond) {
+		t.Error("chain accepted sub-floor sample")
+	}
+	if c.Accept(2 * time.Millisecond) {
+		t.Error("chain accepted sample below relative threshold")
+	}
+}
+
+func TestVECStateStartsUnverified(t *testing.T) {
+	v := &VECState{}
+	// First outgoing packet starts the wave: an unverified edge.
+	if got := v.Next(false); got != VECEdgeUnverified {
+		t.Errorf("first packet VEC = %d, want %d", got, VECEdgeUnverified)
+	}
+	// Repeating the same spin value is not an edge.
+	if got := v.Next(false); got != VECInvalid {
+		t.Errorf("non-edge VEC = %d, want %d", got, VECInvalid)
+	}
+}
+
+func TestVECCounterIncrementsAcrossReflections(t *testing.T) {
+	client := &VECState{}
+	server := &VECState{}
+	cs := NewEndpointState(true)
+	ss := NewEndpointState(false)
+
+	// Client starts the wave.
+	spin := cs.Value()
+	vec := client.Next(spin) // unverified (1)
+	if vec != VECEdgeUnverified {
+		t.Fatalf("client VEC = %d", vec)
+	}
+	// Server receives, reflects: its outgoing edge must carry 2.
+	ss.OnReceive(0, spin)
+	server.OnReceive(spin, vec)
+	sSpin := ss.Value()
+	sVec := server.Next(sSpin)
+	if sVec != VECEdgeDelayed {
+		t.Fatalf("server VEC = %d, want %d", sVec, VECEdgeDelayed)
+	}
+	// Client inverts: the next client edge carries 3 (fully valid).
+	cs.OnReceive(0, sSpin)
+	client.OnReceive(sSpin, sVec)
+	cSpin := cs.Value()
+	cVec := client.Next(cSpin)
+	if cVec != VECFullyValid {
+		t.Fatalf("second client edge VEC = %d, want %d", cVec, VECFullyValid)
+	}
+	// And it saturates at 3 from then on.
+	ss.OnReceive(1, cSpin)
+	server.OnReceive(cSpin, cVec)
+	if got := server.Next(ss.Value()); got != VECFullyValid {
+		t.Fatalf("saturated VEC = %d, want 3", got)
+	}
+}
+
+func TestObserverUseVEC(t *testing.T) {
+	o := NewObserver(ObserverConfig{UseVEC: true})
+	mk := func(ms int, pn uint64, spin bool, vec uint8) Observation {
+		return Observation{T: t0.Add(time.Duration(ms) * time.Millisecond), PN: pn, Spin: spin, VEC: vec}
+	}
+	// First edge unverified (VEC 1): must not start a measurement.
+	o.Observe(ClientToServer, mk(0, 1, false, VECInvalid))
+	o.Observe(ClientToServer, mk(10, 2, true, VECEdgeUnverified))
+	// Fully valid edge: starts a measurement.
+	o.Observe(ClientToServer, mk(100, 3, false, VECFullyValid))
+	// Next valid edge completes it.
+	s, ok := o.Observe(ClientToServer, mk(200, 4, true, VECFullyValid))
+	if !ok || s.RTT != 100*time.Millisecond {
+		t.Fatalf("VEC observer sample = (%+v, %v)", s, ok)
+	}
+	if n := len(o.Samples()); n != 1 {
+		t.Errorf("samples = %d, want 1", n)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// SpinRTTs computes RTT samples from a single-direction series of spin-bit
+// observations exactly the way the paper does (§3.3): every change of the
+// spin value between consecutive packets is a spin edge, and the time
+// between two consecutive edges is one RTT sample.
+//
+// With sortByPN false the series is processed in received order, which is
+// what an on-path observer sees (paper terminology "R"). With sortByPN true
+// the series is first stably sorted by packet number, undoing network
+// reordering ("S"). The input slice is never modified.
+func SpinRTTs(obs []Observation, sortByPN bool) []time.Duration {
+	if len(obs) < 2 {
+		return nil
+	}
+	series := obs
+	if sortByPN {
+		series = make([]Observation, len(obs))
+		copy(series, obs)
+		sort.SliceStable(series, func(i, j int) bool { return series[i].PN < series[j].PN })
+	}
+	var rtts []time.Duration
+	last := series[0].Spin
+	var lastEdge time.Time
+	haveEdge := false
+	for _, o := range series[1:] {
+		if o.Spin == last {
+			continue
+		}
+		last = o.Spin
+		if haveEdge {
+			rtts = append(rtts, o.T.Sub(lastEdge))
+		}
+		lastEdge = o.T
+		haveEdge = true
+	}
+	return rtts
+}
+
+// HasFlips reports whether the series contains both spin values, i.e. the
+// connection is a candidate spin-bit user in the paper's classification.
+func HasFlips(obs []Observation) bool {
+	if len(obs) == 0 {
+		return false
+	}
+	first := obs[0].Spin
+	for _, o := range obs[1:] {
+		if o.Spin != first {
+			return true
+		}
+	}
+	return false
+}
+
+// SeriesKind classifies a spin-bit series the way Table 3 of the paper does.
+type SeriesKind int
+
+const (
+	// KindAllZero: every observed packet carried spin value 0.
+	KindAllZero SeriesKind = iota
+	// KindAllOne: every observed packet carried spin value 1.
+	KindAllOne
+	// KindFlipping: both values were observed; the connection either spins
+	// or greases. The grease filter (analysis package) separates the two.
+	KindFlipping
+	// KindEmpty: no short-header packets observed.
+	KindEmpty
+)
+
+// String returns the Table 3 column name of the kind.
+func (k SeriesKind) String() string {
+	switch k {
+	case KindAllZero:
+		return "All Zero"
+	case KindAllOne:
+		return "All One"
+	case KindFlipping:
+		return "Spin"
+	case KindEmpty:
+		return "Empty"
+	default:
+		return "Unknown"
+	}
+}
+
+// ClassifySeries assigns the Table 3 category of a spin observation series.
+func ClassifySeries(obs []Observation) SeriesKind {
+	if len(obs) == 0 {
+		return KindEmpty
+	}
+	if HasFlips(obs) {
+		return KindFlipping
+	}
+	if obs[0].Spin {
+		return KindAllOne
+	}
+	return KindAllZero
+}
+
+// Direction identifies the two halves of a bidirectional flow as seen by an
+// on-path observer.
+type Direction int
+
+const (
+	// ClientToServer packets travel from the connection initiator.
+	ClientToServer Direction = iota
+	// ServerToClient packets travel toward the initiator.
+	ServerToClient
+)
+
+// RTTSample is one spin-bit RTT measurement produced by the Observer.
+type RTTSample struct {
+	// T is the time the measurement completed (second edge).
+	T time.Time
+	// RTT is the measured duration.
+	RTT time.Duration
+	// Dir is the direction whose edges produced the sample.
+	Dir Direction
+	// Filtered marks samples rejected by the configured heuristics; they
+	// are reported for diagnostics but must not feed estimates.
+	Filtered bool
+}
+
+// ObserverConfig tunes the passive Observer.
+type ObserverConfig struct {
+	// UsePacketNumberGuard accepts an edge only when the packet carrying it
+	// has the largest packet number seen in its direction, suppressing
+	// reordering-induced ultra-short spin cycles (RFC 9312 §4.2 and
+	// Fig. 1b of the paper). Requires observation of packet numbers, which
+	// a real observer of encrypted QUIC does not have; the paper's
+	// client-side vantage point does.
+	UsePacketNumberGuard bool
+	// Filter optionally rejects implausible samples (see Heuristic types).
+	// Rejected samples are emitted with Filtered = true.
+	Filter SampleFilter
+	// UseVEC consumes the Valid Edge Counter carried in the reserved bits:
+	// only edges with VEC == 3 are treated as valid measurement edges.
+	UseVEC bool
+}
+
+// Observer is a passive on-path spin-bit observer. Feed it every
+// short-header packet of one flow via Observe and collect RTT samples.
+//
+// Edges are detected per direction; the time between two consecutive edges
+// in the same direction is a full RTT (an observer positioned anywhere on
+// the path sees one edge per direction per round trip).
+type Observer struct {
+	cfg     ObserverConfig
+	dirs    [2]observerDir
+	samples []RTTSample
+}
+
+type observerDir struct {
+	haveValue bool
+	value     bool
+	largestPN uint64
+	havePN    bool
+	lastEdge  time.Time
+	haveEdge  bool
+}
+
+// NewObserver returns an Observer with the given configuration.
+func NewObserver(cfg ObserverConfig) *Observer {
+	return &Observer{cfg: cfg}
+}
+
+// Observe processes one short-header packet travelling in dir. It returns
+// the RTT sample completed by this packet, if any.
+func (o *Observer) Observe(dir Direction, obs Observation) (RTTSample, bool) {
+	d := &o.dirs[dir]
+	if o.cfg.UsePacketNumberGuard {
+		if d.havePN && obs.PN <= d.largestPN {
+			return RTTSample{}, false
+		}
+		d.havePN = true
+		d.largestPN = obs.PN
+	}
+	if !d.haveValue {
+		d.haveValue = true
+		d.value = obs.Spin
+		return RTTSample{}, false
+	}
+	if obs.Spin == d.value {
+		return RTTSample{}, false
+	}
+	d.value = obs.Spin
+	if o.cfg.UseVEC && obs.VEC != VECFullyValid {
+		// Invalid edge: it must not produce a sample, and it also must not
+		// serve as the start of the next one.
+		d.haveEdge = false
+		return RTTSample{}, false
+	}
+	if !d.haveEdge {
+		d.haveEdge = true
+		d.lastEdge = obs.T
+		return RTTSample{}, false
+	}
+	s := RTTSample{T: obs.T, RTT: obs.T.Sub(d.lastEdge), Dir: dir}
+	d.lastEdge = obs.T
+	if o.cfg.Filter != nil && !o.cfg.Filter.Accept(s.RTT) {
+		s.Filtered = true
+	}
+	o.samples = append(o.samples, s)
+	return s, true
+}
+
+// Samples returns every sample produced so far, including filtered ones.
+// The slice aliases internal state and must not be modified.
+func (o *Observer) Samples() []RTTSample { return o.samples }
+
+// ValidSamples returns the samples that passed the configured filter.
+func (o *Observer) ValidSamples() []RTTSample {
+	out := make([]RTTSample, 0, len(o.samples))
+	for _, s := range o.samples {
+		if !s.Filtered {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MeanRTT returns the mean of the valid samples in dir, or 0 if none.
+func (o *Observer) MeanRTT(dir Direction) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, s := range o.samples {
+		if s.Dir == dir && !s.Filtered {
+			sum += s.RTT
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}

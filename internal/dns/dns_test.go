@@ -1,0 +1,91 @@
+package dns
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func backend() MapBackend {
+	return MapBackend{
+		"www.example.com": {
+			A:    []netip.Addr{netip.MustParseAddr("192.0.2.1")},
+			AAAA: []netip.Addr{netip.MustParseAddr("2001:db8::1")},
+		},
+		"v4only.example.com": {A: []netip.Addr{netip.MustParseAddr("192.0.2.2")}},
+	}
+}
+
+func TestLookupA(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	addrs, err := r.Lookup("www.example.com", TypeA)
+	if err != nil || len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Fatalf("Lookup = (%v, %v)", addrs, err)
+	}
+	addrs, err = r.Lookup("www.example.com", TypeAAAA)
+	if err != nil || addrs[0] != netip.MustParseAddr("2001:db8::1") {
+		t.Fatalf("AAAA = (%v, %v)", addrs, err)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	if _, err := r.Lookup("WWW.Example.COM.", TypeA); err != nil {
+		t.Errorf("case/dot-normalised lookup failed: %v", err)
+	}
+	if Normalize("Foo.Bar.") != "foo.bar" {
+		t.Errorf("Normalize = %q", Normalize("Foo.Bar."))
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	_, err := r.Lookup("missing.example.com", TypeA)
+	if !errors.Is(err, ErrNXDomain) {
+		t.Errorf("err = %v, want NXDOMAIN", err)
+	}
+}
+
+func TestNoRecord(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	_, err := r.Lookup("v4only.example.com", TypeAAAA)
+	if !errors.Is(err, ErrNoRecord) {
+		t.Errorf("err = %v, want ErrNoRecord", err)
+	}
+}
+
+func TestTimeoutInjection(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(42)))
+	r.TimeoutRate = 0.5
+	timeouts := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := r.Lookup("www.example.com", TypeA); errors.Is(err, ErrTimeout) {
+			timeouts++
+		}
+	}
+	if timeouts < 400 || timeouts > 600 {
+		t.Errorf("timeouts = %d/1000, want ~500", timeouts)
+	}
+	st := r.Stats()
+	if st.Queries != 1000 || st.Timeouts != timeouts || st.Resolved != 1000-timeouts {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResultIsACopy(t *testing.T) {
+	b := backend()
+	r := NewResolver(b, rand.New(rand.NewSource(1)))
+	addrs, _ := r.Lookup("www.example.com", TypeA)
+	addrs[0] = netip.MustParseAddr("203.0.113.99")
+	again, _ := r.Lookup("www.example.com", TypeA)
+	if again[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Error("Lookup result aliases backend data")
+	}
+}
+
+func TestRTypeString(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" {
+		t.Error("RType names wrong")
+	}
+}

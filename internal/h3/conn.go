@@ -1,0 +1,110 @@
+package h3
+
+import (
+	"fmt"
+	"time"
+
+	"quicspin/internal/transport"
+)
+
+// FirstStreamID is the first client-initiated bidirectional stream
+// (RFC 9000 §2.1); subsequent requests use id+4.
+const FirstStreamID = 0
+
+// ClientConn issues requests over one transport connection. It is
+// poll-driven like the transport itself: queue a request with Do, pump the
+// connection, then check Response.
+type ClientConn struct {
+	conn    *transport.Conn
+	nextID  uint64
+	pending map[uint64]bool
+}
+
+// NewClientConn wraps an established (or connecting) client transport conn.
+func NewClientConn(conn *transport.Conn) *ClientConn {
+	return &ClientConn{conn: conn, nextID: FirstStreamID, pending: map[uint64]bool{}}
+}
+
+// Conn returns the underlying transport connection.
+func (c *ClientConn) Conn() *transport.Conn { return c.conn }
+
+// Do queues a request and returns its stream ID. The transport must be
+// pumped (Poll/Receive/Advance) for the exchange to progress; the handshake
+// need not be complete yet — data is buffered.
+func (c *ClientConn) Do(req *Request) (uint64, error) {
+	id := c.nextID
+	c.nextID += 4
+	if err := c.conn.SendStream(id, EncodeRequest(req), true); err != nil {
+		return 0, fmt.Errorf("h3: queueing request: %w", err)
+	}
+	c.pending[id] = true
+	return id, nil
+}
+
+// Response returns the parsed response for a stream once it has fully
+// arrived. done is false while the exchange is still in flight.
+func (c *ClientConn) Response(id uint64) (*Response, bool, error) {
+	data, complete := c.conn.StreamRecv(id)
+	if !complete {
+		return nil, false, nil
+	}
+	resp, err := ParseResponse(data)
+	if err != nil {
+		return nil, true, err
+	}
+	return resp, true, nil
+}
+
+// Handler produces a response for a request. peer identifies the client.
+type Handler func(peer string, req *Request) *Response
+
+// Server serves HTTP/3-lite requests on every connection of a transport
+// endpoint. Call Serve from the endpoint driver's activity hook.
+type Server struct {
+	Handler Handler
+	// served tracks answered streams per live connection.
+	served map[*transport.Conn]map[uint64]bool
+}
+
+// NewServer returns a Server with the given handler.
+func NewServer(h Handler) *Server {
+	return &Server{Handler: h, served: map[*transport.Conn]map[uint64]bool{}}
+}
+
+// Serve answers all newly completed request streams on conn.
+func (s *Server) Serve(peer string, conn *transport.Conn, now time.Time) {
+	if !conn.HandshakeComplete() || conn.Terminating() {
+		return
+	}
+	done := s.served[conn]
+	if done == nil {
+		done = map[uint64]bool{}
+		s.served[conn] = done
+	}
+	for _, id := range conn.RecvStreamIDs() {
+		if done[id] {
+			continue
+		}
+		data, complete := conn.StreamRecv(id)
+		if !complete {
+			continue
+		}
+		done[id] = true
+		req, err := ParseRequest(data)
+		var resp *Response
+		if err != nil {
+			resp = &Response{Status: 400, Headers: map[string]string{}, Body: []byte(err.Error())}
+		} else {
+			resp = s.Handler(peer, req)
+		}
+		if resp == nil {
+			resp = &Response{Status: 500, Headers: map[string]string{}}
+		}
+		_ = conn.SendStream(id, EncodeResponse(resp), true)
+	}
+}
+
+// Forget releases per-connection state; call when a connection closes.
+func (s *Server) Forget(conn *transport.Conn) {
+	delete(s.served, conn)
+}

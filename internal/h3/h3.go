@@ -1,0 +1,163 @@
+// Package h3 implements HTTP/3-lite: a minimal request/response protocol
+// over QUIC-lite streams, sufficient for the paper's web measurements. It
+// carries the pieces the study actually uses — request authority and path,
+// response status, the Server header for webserver attribution (§4.2), and
+// Location headers for redirect following (§3.2.1, up to 3 redirects).
+//
+// Substitution note: real HTTP/3 uses QPACK-compressed binary framing.
+// Header compression is irrelevant to every measured quantity, so frames
+// here are plain text with explicit lengths, keeping traces debuggable.
+package h3
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Protocol identifier on the wire.
+const protoLine = "HTTP/3-lite"
+
+// ErrMalformed reports an unparseable message.
+var ErrMalformed = errors.New("h3: malformed message")
+
+// Request is an HTTP/3-lite request.
+type Request struct {
+	Method    string
+	Authority string // host the request is for (":authority")
+	Path      string
+	Headers   map[string]string
+}
+
+// Response is an HTTP/3-lite response.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Server returns the Server header (webserver software identification).
+func (r *Response) Server() string { return r.Headers["server"] }
+
+// Location returns the redirect target, if any.
+func (r *Response) Location() string { return r.Headers["location"] }
+
+// IsRedirect reports whether the status is a 3xx redirect with a Location.
+func (r *Response) IsRedirect() bool {
+	return r.Status >= 300 && r.Status < 400 && r.Location() != ""
+}
+
+// EncodeRequest serialises a request for transmission on a stream.
+func EncodeRequest(req *Request) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s %s\n", req.Method, req.Path, protoLine)
+	fmt.Fprintf(&b, ":authority: %s\n", req.Authority)
+	writeHeaders(&b, req.Headers)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// ParseRequest parses a complete request stream.
+func ParseRequest(data []byte) (*Request, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty request", ErrMalformed)
+	}
+	parts := strings.Fields(sc.Text())
+	if len(parts) != 3 || parts[2] != protoLine {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, sc.Text())
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Headers: map[string]string{}}
+	if err := readHeaders(sc, func(k, v string) {
+		if k == ":authority" {
+			req.Authority = v
+		} else {
+			req.Headers[k] = v
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeResponse serialises a response for transmission on a stream.
+func EncodeResponse(resp *Response) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %d\n", protoLine, resp.Status)
+	fmt.Fprintf(&b, "content-length: %d\n", len(resp.Body))
+	writeHeaders(&b, resp.Headers)
+	b.WriteByte('\n')
+	b.Write(resp.Body)
+	return b.Bytes()
+}
+
+// ParseResponse parses a complete response stream.
+func ParseResponse(data []byte) (*Response, error) {
+	i := bytes.Index(data, []byte("\n\n"))
+	if i < 0 {
+		return nil, fmt.Errorf("%w: missing header terminator", ErrMalformed)
+	}
+	head, body := data[:i], data[i+2:]
+	sc := bufio.NewScanner(bytes.NewReader(head))
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty response", ErrMalformed)
+	}
+	parts := strings.Fields(sc.Text())
+	if len(parts) != 2 || parts[0] != protoLine {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, sc.Text())
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Status: status, Headers: map[string]string{}}
+	var clen = -1
+	if err := readHeaders(sc, func(k, v string) {
+		if k == "content-length" {
+			if n, err := strconv.Atoi(v); err == nil {
+				clen = n
+			}
+		} else {
+			resp.Headers[k] = v
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if clen >= 0 && clen != len(body) {
+		return nil, fmt.Errorf("%w: content-length %d, body %d", ErrMalformed, clen, len(body))
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+func writeHeaders(b *bytes.Buffer, h map[string]string) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\n", strings.ToLower(k), h[k])
+	}
+}
+
+func readHeaders(sc *bufio.Scanner, set func(k, v string)) error {
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			return nil
+		}
+		k, v, ok := strings.Cut(line, ": ")
+		if !ok {
+			return fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		set(strings.ToLower(k), v)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package netem emulates the network between QUIC-lite endpoints in
+// virtual time: configurable one-way delay, jitter, random loss, reordering
+// and duplication per directed path, plus an on-path tap for passive
+// observers. It substitutes for the real Internet paths of the paper's
+// measurement campaign (see DESIGN.md) while exercising exactly the same
+// transport code paths.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"quicspin/internal/sim"
+)
+
+// PathConfig shapes one directed path between two attached hosts.
+type PathConfig struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate drops each datagram independently with this probability.
+	LossRate float64
+	// ReorderRate holds back each datagram with this probability.
+	ReorderRate float64
+	// ReorderExtra is the additional delay of held-back datagrams; zero
+	// means Delay/2 (enough to be overtaken by later traffic).
+	ReorderExtra time.Duration
+	// DuplicateRate delivers each datagram twice with this probability.
+	DuplicateRate float64
+}
+
+func (c PathConfig) reorderExtra() time.Duration {
+	if c.ReorderExtra != 0 {
+		return c.ReorderExtra
+	}
+	return c.Delay / 2
+}
+
+// Handler consumes datagrams delivered to an attached host.
+type Handler func(now time.Time, from string, data []byte)
+
+// TapFunc observes datagrams at delivery time (the vantage of an on-path
+// observer sitting just in front of the receiver).
+type TapFunc func(now time.Time, from, to string, data []byte)
+
+// Stats counts per-network datagram fates.
+type Stats struct {
+	Sent       int
+	Delivered  int
+	Dropped    int
+	Reordered  int
+	Duplicated int
+}
+
+// Network connects named hosts through configurable paths over a shared
+// virtual-time event loop. It is single-threaded like the loop itself.
+type Network struct {
+	loop    *sim.Loop
+	rng     *rand.Rand
+	hosts   map[string]Handler
+	paths   map[[2]string]PathConfig
+	def     PathConfig
+	tap     TapFunc
+	stats   Stats
+	dropAll map[string]bool // blackholed hosts (e.g. unresponsive targets)
+	// lastDelivery enforces FIFO ordering per directed path: real paths
+	// are queues, so jitter delays packets but does not reorder them.
+	// Only ReorderRate-selected packets escape the clamp.
+	lastDelivery map[[2]string]time.Time
+}
+
+// New creates a Network over loop with the given default path config.
+// rng drives loss/reorder/duplication decisions and must be non-nil.
+func New(loop *sim.Loop, def PathConfig, rng *rand.Rand) *Network {
+	return &Network{
+		loop:         loop,
+		rng:          rng,
+		def:          def,
+		hosts:        make(map[string]Handler),
+		paths:        make(map[[2]string]PathConfig),
+		dropAll:      make(map[string]bool),
+		lastDelivery: make(map[[2]string]time.Time),
+	}
+}
+
+// Loop returns the underlying event loop (and virtual clock).
+func (n *Network) Loop() *sim.Loop { return n.loop }
+
+// Attach registers addr with a delivery handler. Re-attaching replaces the
+// handler.
+func (n *Network) Attach(addr string, h Handler) {
+	n.hosts[addr] = h
+}
+
+// Detach removes a host; datagrams in flight toward it are dropped at
+// delivery time.
+func (n *Network) Detach(addr string) {
+	delete(n.hosts, addr)
+}
+
+// SetPath configures the directed path from a to b.
+func (n *Network) SetPath(from, to string, cfg PathConfig) {
+	n.paths[[2]string{from, to}] = cfg
+}
+
+// SetSymmetricPath configures both directions between a and b.
+func (n *Network) SetSymmetricPath(a, b string, cfg PathConfig) {
+	n.SetPath(a, b, cfg)
+	n.SetPath(b, a, cfg)
+}
+
+// ClearPath removes the directed path configs between a and b (both
+// directions), reverting them to the network default. Long-running
+// campaigns call this to keep the path table from growing per probe.
+func (n *Network) ClearPath(a, b string) {
+	delete(n.paths, [2]string{a, b})
+	delete(n.paths, [2]string{b, a})
+	delete(n.lastDelivery, [2]string{a, b})
+	delete(n.lastDelivery, [2]string{b, a})
+}
+
+// Blackhole silently discards all traffic to addr when on is true,
+// emulating unresponsive hosts or filtered UDP.
+func (n *Network) Blackhole(addr string, on bool) {
+	if on {
+		n.dropAll[addr] = true
+	} else {
+		delete(n.dropAll, addr)
+	}
+}
+
+// SetTap installs an observer called at each successful delivery.
+func (n *Network) SetTap(t TapFunc) { n.tap = t }
+
+// Stats returns cumulative datagram counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) pathConfig(from, to string) PathConfig {
+	if cfg, ok := n.paths[[2]string{from, to}]; ok {
+		return cfg
+	}
+	return n.def
+}
+
+// Send injects a datagram from one host toward another. Delivery is
+// scheduled on the loop according to the path configuration. The data slice
+// is copied, so callers may reuse their buffers.
+func (n *Network) Send(from, to string, data []byte) {
+	n.stats.Sent++
+	if n.dropAll[to] {
+		n.stats.Dropped++
+		return
+	}
+	cfg := n.pathConfig(from, to)
+	if cfg.LossRate > 0 && n.rng.Float64() < cfg.LossRate {
+		n.stats.Dropped++
+		return
+	}
+	delay := cfg.Delay
+	if cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+	}
+	at := n.loop.Now().Add(delay)
+	key := [2]string{from, to}
+	if cfg.ReorderRate > 0 && n.rng.Float64() < cfg.ReorderRate {
+		// Deliberately held back: may overtake later traffic.
+		at = at.Add(cfg.reorderExtra())
+		n.stats.Reordered++
+	} else {
+		// FIFO: a packet never arrives before its predecessor on the path.
+		if last, ok := n.lastDelivery[key]; ok && at.Before(last) {
+			at = last
+		}
+		n.lastDelivery[key] = at
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.deliverAt(at, from, to, cp)
+	if cfg.DuplicateRate > 0 && n.rng.Float64() < cfg.DuplicateRate {
+		n.stats.Duplicated++
+		dup := make([]byte, len(cp))
+		copy(dup, cp)
+		n.deliverAt(at.Add(time.Millisecond), from, to, dup)
+	}
+}
+
+func (n *Network) deliverAt(at time.Time, from, to string, data []byte) {
+	n.loop.At(at, func(now time.Time) {
+		h, ok := n.hosts[to]
+		if !ok || n.dropAll[to] {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		if n.tap != nil {
+			n.tap(now, from, to, data)
+		}
+		h(now, from, data)
+	})
+}
+
+// String summarises network statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("netem{sent=%d delivered=%d dropped=%d reordered=%d dup=%d}",
+		s.Sent, s.Delivered, s.Dropped, s.Reordered, s.Duplicated)
+}

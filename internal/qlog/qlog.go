@@ -1,0 +1,252 @@
+// Package qlog implements a qlog-compatible structured endpoint trace
+// (draft-ietf-quic-qlog-main-schema, Marx et al.), serialised as JSON text
+// sequences (one record per line, optionally RS-framed as in .sqlog files).
+//
+// The paper's measurement pipeline stores one qlog trace per QUIC
+// connection and post-processes the packet_received events; the authors
+// extended quic-go's qlog output with the spin-bit state, which this
+// package models as the "spin_bit" field of the packet header.
+package qlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Version is the qlog_version emitted in trace headers.
+const Version = "0.4"
+
+// Event names used by this library (a subset of the qlog event catalogue).
+const (
+	EventPacketSent     = "transport:packet_sent"
+	EventPacketReceived = "transport:packet_received"
+	EventMetricsUpdated = "recovery:metrics_updated"
+	EventConnStarted    = "connectivity:connection_started"
+	EventConnClosed     = "connectivity:connection_closed"
+)
+
+// rs is the ASCII record separator that frames JSON-SEQ records.
+const rs = 0x1e
+
+// TraceHeader is the first record of a trace: metadata about the vantage
+// point and the connection, plus free-form common fields used by the
+// scanner (domain, IP, measurement week, target list).
+type TraceHeader struct {
+	QlogVersion   string            `json:"qlog_version"`
+	Title         string            `json:"title,omitempty"`
+	VantagePoint  string            `json:"vantage_point"`
+	ODCID         string            `json:"odcid,omitempty"`
+	ReferenceTime time.Time         `json:"reference_time"`
+	CommonFields  map[string]string `json:"common_fields,omitempty"`
+}
+
+// PacketHeader mirrors the qlog PacketHeader type; SpinBit is the
+// measurement extension the paper adds.
+type PacketHeader struct {
+	PacketType   string `json:"packet_type"` // "initial", "handshake", "1RTT"
+	PacketNumber uint64 `json:"packet_number"`
+	SpinBit      *bool  `json:"spin_bit,omitempty"`
+	KeyPhase     *bool  `json:"key_phase,omitempty"`
+	VEC          *uint8 `json:"vec,omitempty"` // three-bit extension
+}
+
+// PacketEvent is the data of packet_sent / packet_received events.
+type PacketEvent struct {
+	Header PacketHeader `json:"header"`
+	// Length is the packet length in bytes including the header.
+	Length int `json:"length,omitempty"`
+}
+
+// MetricsEvent is the data of recovery:metrics_updated events, carrying the
+// QUIC stack's internal RTT estimator state (the paper's baseline).
+type MetricsEvent struct {
+	LatestRTTMs   float64 `json:"latest_rtt,omitempty"`
+	SmoothedRTTMs float64 `json:"smoothed_rtt,omitempty"`
+	MinRTTMs      float64 `json:"min_rtt,omitempty"`
+	RTTVarMs      float64 `json:"rtt_variance,omitempty"`
+	AckDelayMs    float64 `json:"ack_delay,omitempty"`
+}
+
+// ConnectivityEvent is the data of connection_started / connection_closed.
+type ConnectivityEvent struct {
+	Local   string `json:"local,omitempty"`
+	Remote  string `json:"remote,omitempty"`
+	Trigger string `json:"trigger,omitempty"`
+}
+
+// Event is one qlog event: a name, a time relative to the trace reference
+// time (qlog convention: float milliseconds), and typed data.
+type Event struct {
+	// RelTimeMs is the event time in milliseconds since ReferenceTime.
+	RelTimeMs float64 `json:"time"`
+	// Name is the qualified event name, e.g. "transport:packet_received".
+	Name string `json:"name"`
+	// Data holds exactly one of the typed payloads below, matching Name.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Packet decodes the event payload as a PacketEvent. It returns an error if
+// the event is not a packet event.
+func (e *Event) Packet() (*PacketEvent, error) {
+	if e.Name != EventPacketSent && e.Name != EventPacketReceived {
+		return nil, fmt.Errorf("qlog: event %q is not a packet event", e.Name)
+	}
+	var p PacketEvent
+	if err := json.Unmarshal(e.Data, &p); err != nil {
+		return nil, fmt.Errorf("qlog: decoding %s data: %w", e.Name, err)
+	}
+	return &p, nil
+}
+
+// Metrics decodes the event payload as a MetricsEvent.
+func (e *Event) Metrics() (*MetricsEvent, error) {
+	if e.Name != EventMetricsUpdated {
+		return nil, fmt.Errorf("qlog: event %q is not a metrics event", e.Name)
+	}
+	var m MetricsEvent
+	if err := json.Unmarshal(e.Data, &m); err != nil {
+		return nil, fmt.Errorf("qlog: decoding metrics data: %w", err)
+	}
+	return &m, nil
+}
+
+// Trace is a fully parsed qlog trace.
+type Trace struct {
+	Header TraceHeader
+	Events []Event
+}
+
+// Time returns the absolute time of event i.
+func (t *Trace) Time(i int) time.Time {
+	return t.Header.ReferenceTime.Add(time.Duration(t.Events[i].RelTimeMs * float64(time.Millisecond)))
+}
+
+// Writer streams a qlog trace to an io.Writer as JSON-SEQ records.
+// It is not safe for concurrent use.
+type Writer struct {
+	w      *bufio.Writer
+	ref    time.Time
+	seq    bool // emit RS framing
+	events int
+	err    error
+}
+
+// NewWriter writes the trace header and returns a Writer. If seqFramed is
+// true, records are prefixed with the JSON-SEQ record separator (0x1E) as in
+// .sqlog files; otherwise plain newline-delimited JSON is produced.
+func NewWriter(w io.Writer, hdr TraceHeader, seqFramed bool) (*Writer, error) {
+	hdr.QlogVersion = Version
+	tw := &Writer{w: bufio.NewWriter(w), ref: hdr.ReferenceTime, seq: seqFramed}
+	if err := tw.writeRecord(hdr); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (w *Writer) writeRecord(v any) error {
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		w.err = fmt.Errorf("qlog: marshal record: %w", err)
+		return w.err
+	}
+	if w.seq {
+		if err := w.w.WriteByte(rs); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.events++
+	return nil
+}
+
+// Emit writes one event with the given absolute timestamp and typed data.
+func (w *Writer) Emit(at time.Time, name string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		w.err = fmt.Errorf("qlog: marshal %s data: %w", name, err)
+		return w.err
+	}
+	return w.writeRecord(Event{
+		RelTimeMs: float64(at.Sub(w.ref)) / float64(time.Millisecond),
+		Name:      name,
+		Data:      raw,
+	})
+}
+
+// PacketReceived emits a packet_received event with the spin-bit extension.
+func (w *Writer) PacketReceived(at time.Time, hdr PacketHeader, length int) error {
+	return w.Emit(at, EventPacketReceived, PacketEvent{Header: hdr, Length: length})
+}
+
+// PacketSent emits a packet_sent event.
+func (w *Writer) PacketSent(at time.Time, hdr PacketHeader, length int) error {
+	return w.Emit(at, EventPacketSent, PacketEvent{Header: hdr, Length: length})
+}
+
+// MetricsUpdated emits a recovery:metrics_updated event.
+func (w *Writer) MetricsUpdated(at time.Time, m MetricsEvent) error {
+	return w.Emit(at, EventMetricsUpdated, m)
+}
+
+// Close flushes buffered records. The Writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Err returns the first error encountered while writing.
+func (w *Writer) Err() error { return w.err }
+
+// Parse reads a complete trace (header record plus events) from r,
+// accepting both RS-framed JSON-SEQ and plain NDJSON.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var tr Trace
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimPrefix(bytes.TrimSpace(sc.Bytes()), []byte{rs})
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			if err := json.Unmarshal(line, &tr.Header); err != nil {
+				return nil, fmt.Errorf("qlog: parse header: %w", err)
+			}
+			if tr.Header.QlogVersion == "" {
+				return nil, fmt.Errorf("qlog: first record lacks qlog_version")
+			}
+			first = false
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("qlog: parse event %d: %w", len(tr.Events), err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qlog: read: %w", err)
+	}
+	if first {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return &tr, nil
+}

@@ -1,0 +1,222 @@
+package qlog
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+var ref = time.Date(2023, 5, 15, 9, 0, 0, 0, time.UTC)
+
+func boolp(b bool) *bool { return &b }
+
+func writeSampleTrace(t *testing.T, seqFramed bool) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, TraceHeader{
+		Title:         "test",
+		VantagePoint:  "client",
+		ODCID:         "c0ffee",
+		ReferenceTime: ref,
+		CommonFields:  map[string]string{"domain": "www.example.com", "ip": "192.0.2.1"},
+	}, seqFramed)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := w.PacketSent(ref, PacketHeader{PacketType: "initial", PacketNumber: 0}, 1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PacketReceived(ref.Add(50*time.Millisecond), PacketHeader{
+		PacketType: "1RTT", PacketNumber: 1, SpinBit: boolp(true),
+	}, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MetricsUpdated(ref.Add(51*time.Millisecond), MetricsEvent{
+		LatestRTTMs: 50.0, SmoothedRTTMs: 50.0, MinRTTMs: 50.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return &buf
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		buf := writeSampleTrace(t, seq)
+		tr, err := Parse(buf)
+		if err != nil {
+			t.Fatalf("Parse(seq=%v): %v", seq, err)
+		}
+		if tr.Header.QlogVersion != Version || tr.Header.ODCID != "c0ffee" {
+			t.Errorf("header = %+v", tr.Header)
+		}
+		if tr.Header.CommonFields["domain"] != "www.example.com" {
+			t.Errorf("common fields = %v", tr.Header.CommonFields)
+		}
+		if len(tr.Events) != 3 {
+			t.Fatalf("events = %d, want 3", len(tr.Events))
+		}
+		if tr.Events[0].Name != EventPacketSent || tr.Events[1].Name != EventPacketReceived {
+			t.Errorf("event names: %s, %s", tr.Events[0].Name, tr.Events[1].Name)
+		}
+		p, err := tr.Events[1].Packet()
+		if err != nil {
+			t.Fatalf("Packet(): %v", err)
+		}
+		if p.Header.PacketType != "1RTT" || p.Header.PacketNumber != 1 ||
+			p.Header.SpinBit == nil || !*p.Header.SpinBit || p.Length != 300 {
+			t.Errorf("packet event = %+v", p)
+		}
+		m, err := tr.Events[2].Metrics()
+		if err != nil {
+			t.Fatalf("Metrics(): %v", err)
+		}
+		if m.LatestRTTMs != 50.0 {
+			t.Errorf("metrics = %+v", m)
+		}
+		if got := tr.Time(1); !got.Equal(ref.Add(50 * time.Millisecond)) {
+			t.Errorf("Time(1) = %v", got)
+		}
+	}
+}
+
+func TestSeqFraming(t *testing.T) {
+	buf := writeSampleTrace(t, true)
+	if buf.Bytes()[0] != 0x1e {
+		t.Error("JSON-SEQ record separator missing")
+	}
+	plain := writeSampleTrace(t, false)
+	if plain.Bytes()[0] == 0x1e {
+		t.Error("NDJSON output starts with record separator")
+	}
+}
+
+func TestSpinBitOmittedWhenNil(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, TraceHeader{VantagePoint: "client", ReferenceTime: ref}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PacketReceived(ref, PacketHeader{PacketType: "initial", PacketNumber: 0}, 100); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if strings.Contains(buf.String(), "spin_bit") {
+		t.Error("spin_bit serialised for long-header packet")
+	}
+}
+
+func TestEventTypeMismatch(t *testing.T) {
+	buf := writeSampleTrace(t, false)
+	tr, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Events[0].Metrics(); err == nil {
+		t.Error("Metrics() on packet event succeeded")
+	}
+	if _, err := tr.Events[2].Packet(); err == nil {
+		t.Error("Packet() on metrics event succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("")); err != io.ErrUnexpectedEOF {
+		t.Errorf("empty input: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := Parse(strings.NewReader("{not json\n")); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"foo": 1}` + "\n")); err == nil {
+		t.Error("header without qlog_version accepted")
+	}
+	good := writeSampleTrace(t, false).String()
+	if _, err := Parse(strings.NewReader(good + "{bad\n")); err == nil {
+		t.Error("malformed event accepted")
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	src := writeSampleTrace(t, false).String()
+	src = strings.ReplaceAll(src, "\n", "\n\n")
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 {
+		t.Errorf("events = %d, want 3", len(tr.Events))
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterErrorSticky(t *testing.T) {
+	w, err := NewWriter(&failingWriter{after: 32}, TraceHeader{VantagePoint: "client", ReferenceTime: ref}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the buffer until the underlying writer fails.
+	var firstErr error
+	for i := 0; i < 10000; i++ {
+		if err := w.PacketSent(ref, PacketHeader{PacketType: "1RTT", PacketNumber: uint64(i)}, 1200); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		firstErr = w.Close()
+	}
+	if firstErr == nil {
+		t.Fatal("writer never surfaced the underlying error")
+	}
+	if w.Err() == nil {
+		t.Error("Err() did not retain the error")
+	}
+}
+
+func BenchmarkWriterPacketReceived(b *testing.B) {
+	w, err := NewWriter(io.Discard, TraceHeader{VantagePoint: "client", ReferenceTime: ref}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spin := true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hdr := PacketHeader{PacketType: "1RTT", PacketNumber: uint64(i), SpinBit: &spin}
+		if err := w.PacketReceived(ref.Add(time.Duration(i)*time.Millisecond), hdr, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, TraceHeader{VantagePoint: "client", ReferenceTime: ref}, false)
+	spin := false
+	for i := 0; i < 200; i++ {
+		spin = !spin
+		w.PacketReceived(ref.Add(time.Duration(i)*time.Millisecond),
+			PacketHeader{PacketType: "1RTT", PacketNumber: uint64(i), SpinBit: &spin}, 1200)
+	}
+	w.Close()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

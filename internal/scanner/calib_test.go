@@ -1,0 +1,110 @@
+package scanner
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"quicspin/internal/websim"
+)
+
+// TestCalibrationReport prints the key reproduction shares. Enable with
+// QUICSPIN_CALIBRATE=1; used when tuning the default profile.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("QUICSPIN_CALIBRATE") == "" {
+		t.Skip("set QUICSPIN_CALIBRATE=1 to run")
+	}
+	p := websim.DefaultProfile()
+	p.Scale = 10_000
+	if v := os.Getenv("QUICSPIN_SCALE"); v != "" {
+		fmt.Sscanf(v, "%d", &p.Scale)
+	}
+	w := websim.Generate(p)
+	for _, ipv6 := range []bool{false, true} {
+		r := Run(w, Config{Week: 12, IPv6: ipv6, Engine: EngineEmulated, Seed: 2, Workers: 8})
+		type agg struct{ dom, res, quic, spin int }
+		views := map[string]*agg{"top": {}, "zone": {}}
+		orgTot := map[string]int{}
+		orgSpin := map[string]int{}
+		ips := map[string][3]int{} // per view concat: not needed; track zone IPs
+		zoneIPs := map[string]*[2]bool{}
+		for i := range r.Domains {
+			d := &r.Domains[i]
+			var a *agg
+			if d.Toplist {
+				a = views["top"]
+			} else if websim.InZoneView(d.TLD) {
+				a = views["zone"]
+			} else {
+				continue
+			}
+			a.dom++
+			if d.Resolved {
+				a.res++
+			}
+			if d.QUIC() {
+				a.quic++
+			}
+			if d.SpinActivity() {
+				a.spin++
+			}
+			for j := range d.Conns {
+				c := &d.Conns[j]
+				if !c.QUIC {
+					continue
+				}
+				org := w.ASDB().OrgOf(c.IP)
+				orgTot[org]++
+				if c.HasFlips() {
+					orgSpin[org]++
+				}
+				if !d.Toplist {
+					st := zoneIPs[c.IP.String()]
+					if st == nil {
+						st = &[2]bool{}
+						zoneIPs[c.IP.String()] = st
+					}
+					st[0] = true
+					if c.HasFlips() {
+						st[1] = true
+					}
+				}
+			}
+		}
+		fmt.Printf("=== ipv6=%v\n", ipv6)
+		for name, a := range views {
+			fmt.Printf("%-5s dom=%d res=%.3f quic=%.3f spin/quic=%.4f\n",
+				name, a.dom, f(a.res, a.dom), f(a.quic, a.res), f(a.spin, a.quic))
+		}
+		qip, sip := 0, 0
+		for _, st := range zoneIPs {
+			if st[0] {
+				qip++
+			}
+			if st[1] {
+				sip++
+			}
+		}
+		fmt.Printf("zone QUIC IPs=%d spinIP share=%.3f\n", qip, f(sip, qip))
+		for _, org := range []string{"Cloudflare", "Google", "Hostinger", "OVH SAS", "A2 Hosting", "SingleHop", "Server Central", "Fastly"} {
+			fmt.Printf("  %-15s tot=%6d spin=%.3f\n", org, orgTot[org], f(orgSpin[org], orgTot[org]))
+		}
+		other, otherSpin := 0, 0
+		known := map[string]bool{"Cloudflare": true, "Google": true, "Hostinger": true, "OVH SAS": true, "A2 Hosting": true, "SingleHop": true, "Server Central": true, "Fastly": true}
+		for org, n := range orgTot {
+			if !known[org] {
+				other += n
+				otherSpin += orgSpin[org]
+			}
+		}
+		fmt.Printf("  %-15s tot=%6d spin=%.3f\n", "<other>", other, f(otherSpin, other))
+		_ = ips
+	}
+}
+
+func f(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

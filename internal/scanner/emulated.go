@@ -1,0 +1,268 @@
+package scanner
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"quicspin/internal/dns"
+	"quicspin/internal/h3"
+	"quicspin/internal/netem"
+	"quicspin/internal/sim"
+	"quicspin/internal/targets"
+	"quicspin/internal/transport"
+	"quicspin/internal/websim"
+)
+
+// emulatedEngine scans domains with full packet-level QUIC-lite exchanges
+// over a private virtual-time network. One engine instance serves one
+// worker shard; everything is single-threaded on its loop.
+type emulatedEngine struct {
+	world *websim.World
+	cfg   Config
+	rng   *rand.Rand
+
+	loop      *sim.Loop
+	net       *netem.Network
+	resolver  *dns.Resolver
+	servers   map[netip.Addr]*serverSite
+	clientSeq int
+}
+
+// serverSite is one instantiated server IP on the worker's network.
+type serverSite struct {
+	host *netem.ServerHost
+	srv  *websim.Server
+}
+
+func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand) *emulatedEngine {
+	loop := sim.NewLoop(campaignStart(cfg.Week))
+	e := &emulatedEngine{
+		world:    w,
+		cfg:      cfg,
+		rng:      rng,
+		loop:     loop,
+		net:      netem.New(loop, netem.PathConfig{Delay: 10 * time.Millisecond}, rng),
+		resolver: dns.NewResolver(w.DNSBackend(), rng),
+		servers:  map[netip.Addr]*serverSite{},
+	}
+	return e
+}
+
+// campaignStart anchors virtual time: one week apart per campaign week.
+func campaignStart(week int) time.Time {
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC) // CW 15, 2022
+	return base.AddDate(0, 0, 7*(week-1))
+}
+
+func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
+	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
+	target := d.Host()
+	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
+	if err != nil {
+		res.DNSErr = errString(err)
+		return res
+	}
+	res.Resolved = true
+	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
+		conn := e.connect(target, ip, hop)
+		res.Conns = append(res.Conns, conn)
+		if conn.Redirect == "" {
+			break
+		}
+		next := redirectTarget(conn.Redirect)
+		if next == "" {
+			break
+		}
+		target = next
+		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
+		if err != nil {
+			break
+		}
+		ip = nip
+	}
+	return res
+}
+
+// connect performs one request/response exchange against ip.
+func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
+	out := ConnResult{Target: target, IP: ip, Hop: hop}
+	srv := e.world.ServerAt(ip)
+	e.site(ip, srv) // instantiate the server stack (nil for blackholes)
+
+	e.clientSeq++
+	clientAddr := fmt.Sprintf("probe-%d", e.clientSeq)
+	serverAddr := ip.String()
+	if srv != nil {
+		path := e.world.PathConfig(srv)
+		e.net.SetSymmetricPath(clientAddr, serverAddr, path)
+	}
+
+	conn := transport.NewClientConn(transport.Config{Rng: e.rng}, e.loop.Now())
+	client := netem.NewClientHost(e.net, clientAddr, serverAddr, conn)
+	client.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
+	hc := h3.NewClientConn(conn)
+	reqID, err := hc.Do(&h3.Request{
+		Method: "GET", Authority: target, Path: "/", Headers: scannerHeaders(),
+	})
+	if err != nil {
+		out.Err = errString(err)
+		client.Close()
+		return out
+	}
+
+	done := false
+	var resp *h3.Response
+	var respErr error
+	client.OnActivity = func(c *transport.Conn, now time.Time) {
+		if done {
+			return
+		}
+		if r, complete, err := hc.Response(reqID); complete {
+			done, resp, respErr = true, r, err
+		}
+		if c.Terminating() {
+			done = true
+		}
+	}
+	client.Kick()
+
+	deadline := e.loop.Now().Add(e.cfg.timeout())
+	for !done && e.loop.Now().Before(deadline) {
+		if !e.loop.Step() {
+			break
+		}
+	}
+
+	now := e.loop.Now()
+	out.QUIC = conn.HandshakeComplete()
+	obs := conn.Observations()
+	for _, o := range obs {
+		if o.Spin {
+			out.OnePkts++
+		} else {
+			out.ZeroPkts++
+		}
+	}
+	if out.HasFlips() || e.cfg.KeepAllObservations {
+		out.Observations = append(out.Observations, obs...)
+	}
+	out.StackRTTs = append(out.StackRTTs, conn.RTT().Samples()...)
+	switch {
+	case resp != nil:
+		out.Status = resp.Status
+		out.Server = resp.Server()
+		if resp.IsRedirect() {
+			out.Redirect = resp.Location()
+		}
+	case respErr != nil:
+		out.Err = respErr.Error()
+	case !out.QUIC:
+		out.Err = "timeout: no QUIC handshake"
+	default:
+		out.Err = "timeout: no response"
+	}
+
+	conn.Close(now, 0, "scan complete")
+	client.Kick()
+	client.Close()
+	e.net.ClearPath(clientAddr, serverAddr)
+	return out
+}
+
+// site returns (building on demand) the worker-local server stack for ip.
+// Non-QUIC or unallocated addresses stay blackholes: the client's packets
+// are delivered to nobody.
+func (e *emulatedEngine) site(ip netip.Addr, srv *websim.Server) *serverSite {
+	if srv == nil || !srv.QUIC {
+		return nil
+	}
+	if s, ok := e.servers[ip]; ok {
+		return s
+	}
+	week := e.cfg.Week
+	world := e.world
+	ep := transport.NewEndpoint(func(peer string) transport.Config {
+		return transport.Config{
+			Rng:        e.rng,
+			SpinPolicy: srv.PolicyForWeek(week),
+		}
+	})
+	host := netem.NewServerHost(e.net, ip.String(), ep)
+	host.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
+	// Serve with application timing: when a request completes, build the
+	// response and stream it according to the server's response plan
+	// (TTFB + dynamic-page chunk gaps).
+	pending := map[*transport.Conn]map[uint64]bool{}
+	host.OnActivity = func(ep *transport.Endpoint, now time.Time) {
+		for _, conn := range ep.Conns() {
+			if !conn.HandshakeComplete() || conn.Terminating() {
+				continue
+			}
+			seen := pending[conn]
+			if seen == nil {
+				seen = map[uint64]bool{}
+				pending[conn] = seen
+			}
+			for _, id := range conn.RecvStreamIDs() {
+				if seen[id] {
+					continue
+				}
+				data, complete := conn.StreamRecv(id)
+				if !complete {
+					continue
+				}
+				seen[id] = true
+				var resp *h3.Response
+				if req, err := h3.ParseRequest(data); err != nil {
+					resp = &h3.Response{Status: 400, Headers: map[string]string{"server": srv.Software}}
+				} else {
+					resp = buildResponse(world, srv, req)
+				}
+				e.streamResponse(host, srv, conn, id, h3.EncodeResponse(resp))
+			}
+		}
+	}
+	s := &serverSite{host: host, srv: srv}
+	e.servers[ip] = s
+	return s
+}
+
+// streamResponse schedules the chunked application writes of an encoded
+// response according to the server's response plan.
+func (e *emulatedEngine) streamResponse(host *netem.ServerHost, srv *websim.Server, conn *transport.Conn, id uint64, data []byte) {
+	plan := srv.ResponsePlan(e.rng, len(data))
+	off := 0
+	for i, ch := range plan {
+		piece := data[off : off+ch.Bytes]
+		off += ch.Bytes
+		fin := i == len(plan)-1
+		e.loop.After(ch.At, func(time.Time) {
+			if conn.Terminating() {
+				return
+			}
+			_ = conn.SendStream(id, piece, fin)
+			host.Kick()
+		})
+	}
+}
+
+// buildResponse renders the landing page (or redirect) for a request, with
+// the Server header used for webserver attribution.
+func buildResponse(w *websim.World, srv *websim.Server, req *h3.Request) *h3.Response {
+	d := w.DomainByHost(req.Authority)
+	hdr := map[string]string{"server": srv.Software, "content-type": "text/html"}
+	if d == nil {
+		return &h3.Response{Status: 404, Headers: hdr, Body: []byte("unknown authority")}
+	}
+	if d.RedirectTo != "" && req.Path == "/" {
+		hdr["location"] = "https://" + targets.PrependWWW(d.RedirectTo) + "/landing"
+		return &h3.Response{Status: 301, Headers: hdr}
+	}
+	body := make([]byte, d.BodyBytes)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	return &h3.Response{Status: 200, Headers: hdr, Body: body}
+}

@@ -1,0 +1,190 @@
+package scanner
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"quicspin/internal/core"
+	"quicspin/internal/dns"
+	"quicspin/internal/targets"
+	"quicspin/internal/websim"
+)
+
+// fastEngine synthesises scan outcomes without packet emulation, using the
+// same ground truth (servers, policies, response plans) and a closed-form
+// model of the emulated engine's packet timing. It exists for
+// campaign-scale runs; TestEnginesAgree validates it against the emulated
+// engine.
+type fastEngine struct {
+	world    *websim.World
+	cfg      Config
+	rng      *rand.Rand
+	resolver *dns.Resolver
+	now      time.Time
+}
+
+func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand) *fastEngine {
+	return &fastEngine{
+		world:    w,
+		cfg:      cfg,
+		rng:      rng,
+		resolver: dns.NewResolver(w.DNSBackend(), rng),
+		now:      campaignStart(cfg.Week),
+	}
+}
+
+func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
+	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
+	target := d.Host()
+	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
+	if err != nil {
+		res.DNSErr = errString(err)
+		return res
+	}
+	res.Resolved = true
+	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
+		conn := e.connect(target, ip, hop)
+		res.Conns = append(res.Conns, conn)
+		if conn.Redirect == "" {
+			break
+		}
+		next := redirectTarget(conn.Redirect)
+		if next == "" {
+			break
+		}
+		target = next
+		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
+		if err != nil {
+			break
+		}
+		ip = nip
+	}
+	return res
+}
+
+// Model constants mirroring the emulated transport.
+const (
+	fastMTUPayload   = 1100 // stream bytes per short packet (after headers)
+	fastBurstSize    = 10   // transport.DefaultMaxInFlight
+	fastAckDelay     = 25 * time.Millisecond
+	fastStackSamples = 4
+)
+
+func (e *fastEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
+	out := ConnResult{Target: target, IP: ip, Hop: hop}
+	srv := e.world.ServerAt(ip)
+	if srv == nil || !srv.QUIC {
+		out.Err = "timeout: no QUIC handshake"
+		return out
+	}
+	out.QUIC = true
+
+	rtt := e.pathRTT(srv)
+	// Stack samples: one per handshake flight plus data-phase samples,
+	// each jittered around the network RTT.
+	for i := 0; i < fastStackSamples; i++ {
+		out.StackRTTs = append(out.StackRTTs, jittered(e.rng, rtt, 0.04))
+	}
+
+	// Response content.
+	d := e.world.DomainByHost(target)
+	out.Server = srv.Software
+	respBytes := 512
+	switch {
+	case d == nil:
+		out.Status = 404
+	case d.RedirectTo != "" && hop == 0 && target == d.Host():
+		out.Status = 301
+		out.Redirect = "https://" + targets.PrependWWW(d.RedirectTo) + "/landing"
+	default:
+		out.Status = 200
+		respBytes = d.BodyBytes
+	}
+
+	// Spin series synthesis: the connection-level spin policy dice are
+	// rolled exactly like the transport does (1-in-N disable included).
+	ctrl := core.NewController(false, srv.PolicyForWeek(e.cfg.Week), e.rng)
+	e.synthesizeObservations(&out, ctrl.EffectiveMode(), srv, rtt, respBytes)
+	return out
+}
+
+func (e *fastEngine) pathRTT(srv *websim.Server) time.Duration {
+	// Base RTT plus symmetric jitter as netem would apply.
+	j := time.Duration(e.world.Profile.PathJitterMs * float64(time.Millisecond))
+	if j <= 0 {
+		return srv.BaseRTT
+	}
+	return srv.BaseRTT + time.Duration(e.rng.Int63n(int64(2*j)))
+}
+
+// synthesizeObservations emulates the received 1-RTT packet series of the
+// client: HANDSHAKE_DONE + response bursts, with the spin value evolving
+// as the server reflects the client's wave.
+func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv *websim.Server, rtt time.Duration, respBytes int) {
+	plan := srv.ResponsePlan(e.rng, respBytes)
+	// Receive times of server packets, relative to handshake completion.
+	var times []time.Duration
+	times = append(times, 0) // HANDSHAKE_DONE (+ request ACK)
+	for _, ch := range plan {
+		pkts := (ch.Bytes + fastMTUPayload - 1) / fastMTUPayload
+		if pkts < 1 {
+			pkts = 1
+		}
+		bursts := (pkts + fastBurstSize - 1) / fastBurstSize
+		for b := 0; b < bursts; b++ {
+			at := ch.At + time.Duration(b)*rtt
+			n := fastBurstSize
+			if b == bursts-1 {
+				n = pkts - b*fastBurstSize
+			}
+			for k := 0; k < n; k++ {
+				times = append(times, at+time.Duration(k)*50*time.Microsecond)
+			}
+		}
+	}
+
+	// Client spin wave: the client flips its value when it receives a new
+	// largest packet; the server's packets reflect the client value that
+	// was current roughly one client-ack earlier. We model the reflected
+	// value as flipping at every burst boundary ≥ one RTT after the
+	// previous flip (the ack round trip).
+	spin := false // server starts reflecting the client's 0
+	greaseVal := e.rng.Intn(2) == 1
+	lastFlip := -rtt
+	base := campaignStart(e.cfg.Week).Add(3 * rtt / 2) // handshake done at ~1.5 RTT
+	var pn uint64
+	for _, at := range times {
+		if mode == core.ModeSpin && at >= lastFlip+rtt && at > 0 {
+			spin = !spin
+			lastFlip = at
+		}
+		v := spin
+		switch mode {
+		case core.ModeZero:
+			v = false
+		case core.ModeOne:
+			v = true
+		case core.ModeGreasePerPacket:
+			v = e.rng.Intn(2) == 1
+		case core.ModeGreasePerConn:
+			v = greaseVal
+		}
+		ob := core.Observation{T: base.Add(at), PN: pn, Spin: v}
+		pn++
+		if v {
+			out.OnePkts++
+		} else {
+			out.ZeroPkts++
+		}
+		out.Observations = append(out.Observations, ob)
+	}
+	if !out.HasFlips() && !e.cfg.KeepAllObservations {
+		out.Observations = nil
+	}
+}
+
+func jittered(rng *rand.Rand, d time.Duration, frac float64) time.Duration {
+	f := 1 + (rng.Float64()*2-1)*frac
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,200 @@
+// Package sim provides the time substrate shared by the QUIC-lite transport,
+// the network emulator, and the measurement campaign engine: an abstract
+// Clock, a real-time implementation, and a deterministic virtual-time event
+// loop that lets emulated seconds cost microseconds of CPU.
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. The transport and all emulation code take
+// a Clock instead of calling time.Now so that experiments can run in virtual
+// time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// event is a scheduled callback in a virtual-time Loop.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	fn  func(now time.Time)
+	// canceled marks an event removed before firing.
+	canceled bool
+	index    int
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is a deterministic discrete-event simulator and virtual Clock.
+// Callbacks scheduled at the same instant fire in scheduling order.
+// Loop is not safe for concurrent use; the whole point is that a simulation
+// is single-threaded and reproducible.
+type Loop struct {
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+}
+
+// NewLoop returns a Loop whose clock starts at start.
+func NewLoop(start time.Time) *Loop {
+	return &Loop{now: start}
+}
+
+// Now implements Clock.
+func (l *Loop) Now() time.Time { return l.now }
+
+// Timer is a handle to a scheduled callback that can be canceled.
+type Timer struct{ e *event }
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped timer
+// is a no-op. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.canceled {
+		return false
+	}
+	t.e.canceled = true
+	return true
+}
+
+// At schedules fn to run when the virtual clock reaches at. Scheduling in
+// the past runs the callback at the current time on the next step.
+func (l *Loop) At(at time.Time, fn func(now time.Time)) *Timer {
+	if at.Before(l.now) {
+		at = l.now
+	}
+	e := &event{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.queue, e)
+	return &Timer{e: e}
+}
+
+// After schedules fn to run after d of virtual time.
+func (l *Loop) After(d time.Duration, fn func(now time.Time)) *Timer {
+	return l.At(l.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event was fired.
+func (l *Loop) Step() bool {
+	for l.queue.Len() > 0 {
+		e := heap.Pop(&l.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		l.now = e.at
+		e.fn(l.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty and returns the number fired.
+func (l *Loop) Run() int {
+	n := 0
+	for l.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with deadlines at or before t, then advances the
+// clock to t. Events scheduled while running are processed if they fall
+// within the horizon.
+func (l *Loop) RunUntil(t time.Time) {
+	for l.queue.Len() > 0 {
+		e := l.queue[0]
+		if e.canceled {
+			heap.Pop(&l.queue)
+			continue
+		}
+		if e.at.After(t) {
+			break
+		}
+		l.Step()
+	}
+	if t.After(l.now) {
+		l.now = t
+	}
+}
+
+// Pending returns the number of live (non-canceled) events in the queue.
+func (l *Loop) Pending() int {
+	n := 0
+	for _, e := range l.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// ManualClock is a trivially settable Clock for unit tests that do not need
+// an event queue. It is safe for concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a ManualClock set to start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// Set moves the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

@@ -1,0 +1,204 @@
+// Package stats provides the statistical helpers behind the paper's tables
+// and figures: histograms with custom bin edges (Figs. 3 and 4), share
+// computations, summary statistics, and the binomial model used for the
+// RFC-compliance reference lines of Fig. 2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values in bins defined by ascending edges: bin i covers
+// [Edges[i], Edges[i+1]), with optional open-ended underflow and overflow
+// bins.
+type Histogram struct {
+	Edges     []float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	N         int
+}
+
+// NewHistogram builds an empty histogram over the given ascending edges.
+// It panics on fewer than two or non-ascending edges (programming error).
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) < 2 {
+		panic("stats: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must ascend")
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{Edges: e, Counts: make([]int, len(edges)-1)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.N++
+	switch {
+	case v < h.Edges[0]:
+		h.Underflow++
+	case v >= h.Edges[len(h.Edges)-1]:
+		h.Overflow++
+	default:
+		i := sort.SearchFloat64s(h.Edges, v)
+		// SearchFloat64s returns the first edge >= v; adjust to bin index.
+		if i < len(h.Edges) && h.Edges[i] == v {
+			h.Counts[i]++
+		} else {
+			h.Counts[i-1]++
+		}
+	}
+}
+
+// Share returns the fraction of all recorded values in bin i.
+func (h *Histogram) Share(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// ShareBelow returns the fraction of values below x (x must be an edge for
+// exact results; otherwise the covering bin is excluded).
+func (h *Histogram) ShareBelow(x float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	c := h.Underflow
+	for i, e := range h.Edges[1:] {
+		if e <= x {
+			c += h.Counts[i]
+		}
+	}
+	return float64(c) / float64(h.N)
+}
+
+// ShareAtOrAbove returns the fraction of values at or above x.
+func (h *Histogram) ShareAtOrAbove(x float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	c := h.Overflow
+	for i := range h.Counts {
+		if h.Edges[i] >= x {
+			c += h.Counts[i]
+		}
+	}
+	return float64(c) / float64(h.N)
+}
+
+// String renders the histogram as aligned text rows with relative shares.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	row := func(label string, count int) {
+		share := 0.0
+		if h.N > 0 {
+			share = float64(count) / float64(h.N) * 100
+		}
+		bar := strings.Repeat("█", int(share/2))
+		fmt.Fprintf(&b, "%-22s %9d  %6.2f%% %s\n", label, count, share, bar)
+	}
+	if h.Underflow > 0 {
+		row(fmt.Sprintf("< %g", h.Edges[0]), h.Underflow)
+	}
+	for i := range h.Counts {
+		row(fmt.Sprintf("[%g, %g)", h.Edges[i], h.Edges[i+1]), h.Counts[i])
+	}
+	if h.Overflow > 0 {
+		row(fmt.Sprintf(">= %g", h.Edges[len(h.Edges)-1]), h.Overflow)
+	}
+	return b.String()
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Work in log space for numerical stability at larger n.
+	lg := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+func lnChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	l1, _ := math.Lgamma(float64(k + 1))
+	l2, _ := math.Lgamma(float64(n - k + 1))
+	return lg - l1 - l2
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (average of the middle two for even
+// lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	m := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[m]
+	}
+	return (tmp[m-1] + tmp[m]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation, or 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if q <= 0 {
+		return tmp[0]
+	}
+	if q >= 1 {
+		return tmp[len(tmp)-1]
+	}
+	pos := q * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(tmp) {
+		return tmp[lo]
+	}
+	return tmp[lo]*(1-frac) + tmp[lo+1]*frac
+}
+
+// Percent formats a fraction as a percentage string like the paper's
+// tables.
+func Percent(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", float64(num)/float64(den)*100)
+}
+
+// Ratio returns num/den, or 0 when den == 0.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

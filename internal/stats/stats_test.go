@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 20, 30})
+	for _, v := range []float64{-5, 0, 5, 9.999, 10, 25, 30, 100} {
+		h.Add(v)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.N != 8 {
+		t.Errorf("N = %d", h.N)
+	}
+	if got := h.Share(0); math.Abs(got-3.0/8) > 1e-12 {
+		t.Errorf("Share(0) = %v", got)
+	}
+}
+
+func TestHistogramEdgeInclusion(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2})
+	h.Add(1) // exactly on an interior edge → bin [1,2)
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	h.Add(2) // on the last edge → overflow
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+}
+
+func TestHistogramShares(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Add(v)
+	}
+	if got := h.ShareBelow(2); got != 0.5 {
+		t.Errorf("ShareBelow(2) = %v", got)
+	}
+	if got := h.ShareAtOrAbove(2); got != 0.5 {
+		t.Errorf("ShareAtOrAbove(2) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	h.Add(0.5)
+	h.Add(-1)
+	s := h.String()
+	if !strings.Contains(s, "[0, 1)") || !strings.Contains(s, "< 0") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogramQuickConservation(t *testing.T) {
+	// Property: N equals underflow + overflow + sum of bin counts.
+	f := func(vals []float64) bool {
+		h := NewHistogram([]float64{-10, 0, 10})
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+		}
+		total := h.Underflow + h.Overflow
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == h.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Hand-checked values.
+	if got := BinomialPMF(2, 1, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("B(2,0.5) P[X=1] = %v", got)
+	}
+	// RFC 9000 model of Fig. 2: each weekly connection spins with
+	// p = 15/16; P[spin in all 12 weeks] = (15/16)^12 ≈ 0.4609.
+	got := BinomialPMF(12, 12, 15.0/16)
+	want := math.Pow(15.0/16, 12)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("P[12/12] = %v, want %v", got, want)
+	}
+	if BinomialPMF(5, -1, 0.5) != 0 || BinomialPMF(5, 6, 0.5) != 0 {
+		t.Error("out-of-range k must give 0")
+	}
+	// PMF sums to 1.
+	var sum float64
+	for k := 0; k <= 12; k++ {
+		sum += BinomialPMF(12, k, 7.0/8)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sum = %v", sum)
+	}
+}
+
+func TestMeanMedianQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("odd-length median wrong")
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty-input helpers must return 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Median/Quantile mutated input")
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if Percent(1, 3) != "33.3%" {
+		t.Errorf("Percent = %q", Percent(1, 3))
+	}
+	if Percent(1, 0) != "n/a" {
+		t.Error("zero denominator must give n/a")
+	}
+	if Ratio(1, 4) != 0.25 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram([]float64{0, 1, 5, 10, 25, 50, 100, 200, 500, 1000})
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i % 1200))
+	}
+}

@@ -1,0 +1,981 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"quicspin/internal/core"
+	"quicspin/internal/qlog"
+	"quicspin/internal/rtt"
+	"quicspin/internal/wire"
+)
+
+// Mock handshake transcript messages (see the package comment for the
+// substitution rationale). Sizes roughly mimic a TLS 1.3 exchange so that
+// handshake packets have realistic weight.
+var (
+	msgClientHello    = append([]byte("quicspin:CHLO:"), make([]byte, 300)...)
+	msgServerHello    = append([]byte("quicspin:SHLO:"), make([]byte, 120)...)
+	msgServerFinished = append([]byte("quicspin:SFIN:"), make([]byte, 700)...)
+	msgClientFinished = append([]byte("quicspin:CFIN:"), make([]byte, 50)...)
+)
+
+// connState is the connection lifecycle state.
+type connState int
+
+const (
+	stateHandshaking connState = iota
+	stateActive
+	stateClosing  // we sent CONNECTION_CLOSE
+	stateDraining // peer sent CONNECTION_CLOSE
+	stateClosed
+)
+
+// ErrConnectionClosed is returned by operations on a terminated connection.
+var ErrConnectionClosed = errors.New("transport: connection closed")
+
+// TransportError mirrors a received CONNECTION_CLOSE.
+type TransportError struct {
+	Code   uint64
+	Reason string
+	Remote bool
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	side := "local"
+	if e.Remote {
+		side = "remote"
+	}
+	return fmt.Sprintf("transport: %s close code=%#x reason=%q", side, e.Code, e.Reason)
+}
+
+// Stats counts per-connection packet activity.
+type Stats struct {
+	PacketsSent     int
+	PacketsReceived int
+	ShortSent       int
+	ShortReceived   int
+	DatagramsSent   int
+	BytesSent       int
+	BytesReceived   int
+	PacketsLost     int
+	PTOCount        int
+}
+
+// Conn is one QUIC-lite connection endpoint. It is sans-IO and
+// single-threaded: the caller serialises Receive/Poll/Advance calls and
+// moves datagrams between peers. All methods take the current time
+// explicitly so connections run equally under virtual and real clocks.
+type Conn struct {
+	cfg      Config
+	isClient bool
+	state    connState
+
+	odcid   wire.ConnectionID // client-chosen original destination CID
+	scid    wire.ConnectionID // our source CID (we route on this)
+	dstCID  wire.ConnectionID // peer's CID we address packets to
+	gotPeer bool              // learned the peer SCID
+
+	send [numSpaces]sendState
+	recv [numSpaces]recvState
+	// retransmit holds frames from lost packets awaiting resend.
+	retransmit  [numSpaces][]wire.Frame
+	spaceActive [numSpaces]bool
+	probePing   [numSpaces]bool
+
+	cryptoSend [numSpaces]sendStream
+	cryptoRecv [numSpaces]recvStream
+
+	streamsSend map[uint64]*sendStream
+	streamsRecv map[uint64]*recvStream
+
+	handshakeComplete   bool
+	handshakeConfirmed  bool
+	handshakeDoneQueued bool
+	sentCFIN            bool
+
+	spin *core.Controller
+	vec  core.VECState
+	obs  []core.Observation
+
+	estimator *rtt.Estimator
+
+	lossTime      [numSpaces]time.Time
+	ptoDeadline   time.Time
+	ptoBackoff    int
+	idleDeadline  time.Time
+	drainDeadline time.Time
+
+	closeFrame *wire.ConnectionCloseFrame
+	closeSent  bool
+	termErr    error
+
+	stats Stats
+}
+
+// NewClientConn creates the client side of a connection and queues the
+// first flight. now seeds the idle timer.
+func NewClientConn(cfg Config, now time.Time) *Conn {
+	c := newConn(cfg, true)
+	c.odcid = randomCID(cfg, cfg.connIDLen())
+	c.dstCID = c.odcid
+	c.scid = randomCID(cfg, cfg.connIDLen())
+	c.cryptoSend[spaceInitial].data = append([]byte(nil), msgClientHello...)
+	c.cryptoSend[spaceInitial].finSet = false
+	c.idleDeadline = now.Add(cfg.idleTimeout())
+	return c
+}
+
+// NewServerConn creates the server side for a connection whose first
+// Initial packet carried the given client DCID (odcid) and SCID.
+func NewServerConn(cfg Config, odcid, clientSCID wire.ConnectionID, now time.Time) *Conn {
+	c := newConn(cfg, false)
+	c.odcid = odcid
+	c.scid = randomCID(cfg, cfg.connIDLen())
+	c.dstCID = clientSCID
+	c.gotPeer = true
+	c.idleDeadline = now.Add(cfg.idleTimeout())
+	return c
+}
+
+func newConn(cfg Config, isClient bool) *Conn {
+	if cfg.Rng == nil {
+		panic("transport: Config.Rng is required")
+	}
+	c := &Conn{
+		cfg:         cfg,
+		isClient:    isClient,
+		estimator:   rtt.New(cfg.maxAckDelay()),
+		streamsSend: make(map[uint64]*sendStream),
+		streamsRecv: make(map[uint64]*recvStream),
+		spin:        core.NewController(isClient, cfg.SpinPolicy, cfg.Rng),
+	}
+	c.spaceActive[spaceInitial] = true
+	c.spaceActive[spaceHandshake] = true
+	c.spaceActive[spaceAppData] = true
+	return c
+}
+
+func randomCID(cfg Config, n int) wire.ConnectionID {
+	b := make([]byte, n)
+	cfg.Rng.Read(b)
+	return wire.NewConnectionID(b)
+}
+
+// IsClient reports whether this is the connection initiator.
+func (c *Conn) IsClient() bool { return c.isClient }
+
+// ODCID returns the original destination connection ID identifying the
+// connection attempt (used for qlog and demultiplexing).
+func (c *Conn) ODCID() wire.ConnectionID { return c.odcid }
+
+// SCID returns the connection ID this endpoint issued; incoming
+// short-header packets address it.
+func (c *Conn) SCID() wire.ConnectionID { return c.scid }
+
+// HandshakeComplete reports whether 1-RTT data can flow.
+func (c *Conn) HandshakeComplete() bool { return c.handshakeComplete }
+
+// HandshakeConfirmed reports RFC 9001 §4.1.2 confirmation.
+func (c *Conn) HandshakeConfirmed() bool { return c.handshakeConfirmed }
+
+// Closed reports whether the connection has fully terminated.
+func (c *Conn) Closed() bool { return c.state == stateClosed }
+
+// Terminating reports whether the connection is closing, draining or closed.
+func (c *Conn) Terminating() bool { return c.state >= stateClosing }
+
+// TermError returns the terminal error (nil for a clean local close or a
+// still-open connection).
+func (c *Conn) TermError() error { return c.termErr }
+
+// RTT exposes the RFC 9002 estimator (the paper's baseline measurements).
+func (c *Conn) RTT() *rtt.Estimator { return c.estimator }
+
+// SpinController exposes the spin-bit controller for inspection.
+func (c *Conn) SpinController() *core.Controller { return c.spin }
+
+// Observations returns the spin-bit observation series of received 1-RTT
+// packets in arrival order (the client-side vantage point of the paper).
+// The slice aliases internal state and must not be modified.
+func (c *Conn) Observations() []core.Observation { return c.obs }
+
+// Stats returns packet counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// SendStream queues application data on a stream. Stream IDs follow RFC
+// 9000 conventions (client-initiated bidirectional streams are 0, 4, 8, …)
+// but the transport does not enforce them.
+func (c *Conn) SendStream(id uint64, data []byte, fin bool) error {
+	if c.state >= stateClosing {
+		return ErrConnectionClosed
+	}
+	s := c.streamsSend[id]
+	if s == nil {
+		s = &sendStream{}
+		c.streamsSend[id] = s
+	}
+	if s.finSet {
+		return fmt.Errorf("transport: write after FIN on stream %d", id)
+	}
+	s.data = append(s.data, data...)
+	s.finSet = fin
+	return nil
+}
+
+// StreamRecv returns the reassembled contiguous data of a stream and
+// whether the stream is complete (FIN received and all bytes present).
+func (c *Conn) StreamRecv(id uint64) ([]byte, bool) {
+	r := c.streamsRecv[id]
+	if r == nil {
+		return nil, false
+	}
+	return r.delivered, r.complete()
+}
+
+// RecvStreamIDs returns the IDs of streams with received data, sorted.
+func (c *Conn) RecvStreamIDs() []uint64 {
+	ids := make([]uint64, 0, len(c.streamsRecv))
+	for id := range c.streamsRecv {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Close initiates a local close with an application error code.
+func (c *Conn) Close(now time.Time, code uint64, reason string) {
+	if c.state >= stateClosing {
+		return
+	}
+	c.state = stateClosing
+	c.closeFrame = &wire.ConnectionCloseFrame{ErrorCode: code, Reason: reason}
+	c.drainDeadline = now.Add(3 * c.estimator.PTO(true))
+}
+
+// --- receiving ---------------------------------------------------------
+
+// Receive processes one incoming UDP datagram.
+func (c *Conn) Receive(now time.Time, datagram []byte) error {
+	if c.state == stateClosed {
+		return ErrConnectionClosed
+	}
+	c.stats.BytesReceived += len(datagram)
+	c.idleDeadline = now.Add(c.cfg.idleTimeout())
+	rest := datagram
+	for len(rest) > 0 {
+		var largest uint64 = wire.NoAckedPacket
+		if !wire.IsLongHeader(rest[0]) {
+			if c.recv[spaceAppData].hasReceived {
+				largest = c.recv[spaceAppData].largest
+			}
+		}
+		hdr, payload, consumed, err := wire.ParseHeader(rest, c.scid.Len(), largest)
+		if err != nil {
+			return fmt.Errorf("transport: parsing packet: %w", err)
+		}
+		rest = rest[consumed:]
+		if err := c.handlePacket(now, hdr, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func spaceOf(h *wire.Header) (spaceID, bool) {
+	if !h.IsLong {
+		return spaceAppData, true
+	}
+	switch h.Type {
+	case wire.TypeInitial:
+		return spaceInitial, true
+	case wire.TypeHandshake:
+		return spaceHandshake, true
+	default:
+		return 0, false
+	}
+}
+
+func (c *Conn) handlePacket(now time.Time, hdr *wire.Header, payload []byte) error {
+	sp, ok := spaceOf(hdr)
+	if !ok || !c.spaceActive[sp] {
+		return nil // e.g. late Initial after key discard: ignore
+	}
+	if sp == spaceAppData && !c.handshakeComplete {
+		// 1-RTT before handshake completion: buffer-free simplification —
+		// drop; the peer retransmits.
+		return nil
+	}
+	frames, err := wire.ParseFrames(payload)
+	if err != nil {
+		return fmt.Errorf("transport: %s packet %d: %w", sp, hdr.PacketNumber, err)
+	}
+	c.stats.PacketsReceived++
+
+	if hdr.IsLong && c.isClient && !c.gotPeer {
+		// Learn the server's chosen SCID from its first packet.
+		c.dstCID = hdr.SrcConnID
+		c.gotPeer = true
+	}
+
+	rs := &c.recv[sp]
+	isLargest := !rs.hasReceived || hdr.PacketNumber > rs.largest
+	isNew := rs.record(hdr.PacketNumber, now)
+
+	if !hdr.IsLong {
+		c.stats.ShortReceived++
+		ob := core.Observation{T: now, PN: hdr.PacketNumber, Spin: hdr.SpinBit, VEC: hdr.Reserved}
+		c.obs = append(c.obs, ob)
+		if isLargest {
+			c.spin.OnReceive(hdr.PacketNumber, hdr.SpinBit)
+			if c.cfg.EnableVEC {
+				c.vec.OnReceive(hdr.SpinBit, hdr.Reserved)
+			}
+		}
+	}
+	c.qlogPacket(qlog.EventPacketReceived, now, hdr, len(payload))
+
+	if !isNew {
+		return nil // duplicate: already acknowledged
+	}
+
+	elicits := false
+	for _, f := range frames {
+		if f.AckEliciting() {
+			elicits = true
+		}
+		if err := c.handleFrame(now, sp, f); err != nil {
+			return err
+		}
+	}
+	if elicits {
+		rs.unackedElicits++
+		if sp != spaceAppData || rs.unackedElicits >= c.cfg.ackEveryN() {
+			rs.ackQueued = true
+		} else if rs.ackDeadline.IsZero() {
+			rs.ackDeadline = now.Add(c.cfg.maxAckDelay())
+		}
+	}
+	return nil
+}
+
+func (c *Conn) handleFrame(now time.Time, sp spaceID, f wire.Frame) error {
+	switch fr := f.(type) {
+	case wire.PaddingFrame, wire.PingFrame:
+		return nil
+	case *wire.AckFrame:
+		c.handleAck(now, sp, fr)
+		return nil
+	case *wire.CryptoFrame:
+		c.cryptoRecv[sp].push(fr.Offset, fr.Data, false)
+		c.advanceHandshake(now)
+		return nil
+	case *wire.StreamFrame:
+		r := c.streamsRecv[fr.StreamID]
+		if r == nil {
+			r = &recvStream{}
+			c.streamsRecv[fr.StreamID] = r
+		}
+		r.push(fr.Offset, fr.Data, fr.Fin)
+		return nil
+	case wire.HandshakeDoneFrame:
+		if c.isClient {
+			c.confirmHandshake()
+		}
+		return nil
+	case *wire.NewTokenFrame:
+		return nil
+	case *wire.ConnectionCloseFrame:
+		if c.state < stateDraining {
+			c.state = stateDraining
+			c.termErr = &TransportError{Code: fr.ErrorCode, Reason: fr.Reason, Remote: true}
+			c.drainDeadline = now.Add(3 * c.estimator.PTO(true))
+		}
+		return nil
+	default:
+		return fmt.Errorf("transport: unhandled frame %T", f)
+	}
+}
+
+func (c *Conn) handleAck(now time.Time, sp spaceID, ack *wire.AckFrame) {
+	ss := &c.send[sp]
+	var newlyAckedLargest *sentPacket
+	for _, p := range ss.inFlight {
+		if p.declared || !ack.Acks(p.pn) {
+			continue
+		}
+		p.declared = true
+		if newlyAckedLargest == nil || p.pn > newlyAckedLargest.pn {
+			newlyAckedLargest = p
+		}
+	}
+	if newlyAckedLargest == nil {
+		return
+	}
+	if !ss.hasAcked || ack.Largest() > ss.largestAcked {
+		ss.largestAcked = ack.Largest()
+		ss.hasAcked = true
+	}
+	if newlyAckedLargest.ackEliciting && newlyAckedLargest.pn == ack.Largest() {
+		latest := now.Sub(newlyAckedLargest.sentAt)
+		ackDelay := time.Duration(ack.DelayMicros) * time.Microsecond
+		if sp != spaceAppData {
+			ackDelay = 0
+		}
+		c.estimator.Update(latest, ackDelay, c.handshakeConfirmed)
+		c.qlogMetrics(now)
+	}
+	c.detectLosses(now, sp)
+	ss.compact()
+	c.ptoBackoff = 0
+	c.armPTO(now)
+}
+
+func (c *Conn) detectLosses(now time.Time, sp spaceID) {
+	ss := &c.send[sp]
+	if !ss.hasAcked {
+		return
+	}
+	lossDelay := c.lossDelay()
+	c.lossTime[sp] = time.Time{}
+	for _, p := range ss.inFlight {
+		if p.declared || p.pn > ss.largestAcked {
+			continue
+		}
+		lostByReorder := ss.largestAcked >= p.pn+packetThreshold
+		lostByTime := !p.sentAt.After(now.Add(-lossDelay))
+		if lostByReorder || lostByTime {
+			p.declared = true
+			c.stats.PacketsLost++
+			c.requeue(sp, p)
+			continue
+		}
+		// Not yet lost: arm the loss timer for when it would be.
+		t := p.sentAt.Add(lossDelay)
+		if c.lossTime[sp].IsZero() || t.Before(c.lossTime[sp]) {
+			c.lossTime[sp] = t
+		}
+	}
+}
+
+func (c *Conn) lossDelay() time.Duration {
+	d := c.estimator.Latest()
+	if s := c.estimator.Smoothed(); s > d {
+		d = s
+	}
+	d = d * 9 / 8
+	if d < rtt.Granularity {
+		d = rtt.Granularity
+	}
+	return d
+}
+
+// requeue schedules a lost packet's retransmittable frames for resend.
+func (c *Conn) requeue(sp spaceID, p *sentPacket) {
+	c.retransmit[sp] = append(c.retransmit[sp], p.frames...)
+}
+
+// --- handshake ---------------------------------------------------------
+
+func (c *Conn) advanceHandshake(now time.Time) {
+	if c.isClient {
+		if hasMsg(&c.cryptoRecv[spaceInitial], msgServerHello) &&
+			hasMsg(&c.cryptoRecv[spaceHandshake], msgServerFinished) && !c.sentCFIN {
+			c.cryptoSend[spaceHandshake].data = append([]byte(nil), msgClientFinished...)
+			c.sentCFIN = true
+			c.handshakeComplete = true
+			// Initial keys are discarded once handshake keys are in use.
+			c.dropSpace(spaceInitial)
+		}
+		return
+	}
+	// Server.
+	if hasMsg(&c.cryptoRecv[spaceInitial], msgClientHello) && len(c.cryptoSend[spaceInitial].data) == 0 && !c.handshakeComplete {
+		if c.cryptoSend[spaceInitial].next == 0 {
+			c.cryptoSend[spaceInitial].data = append([]byte(nil), msgServerHello...)
+			c.cryptoSend[spaceHandshake].data = append([]byte(nil), msgServerFinished...)
+		}
+	}
+	if hasMsg(&c.cryptoRecv[spaceHandshake], msgClientFinished) && !c.handshakeComplete {
+		c.handshakeComplete = true
+		c.confirmHandshake()
+		c.handshakeDoneQueued = true
+		c.dropSpace(spaceInitial)
+		c.dropSpace(spaceHandshake)
+	}
+}
+
+func (c *Conn) confirmHandshake() {
+	if c.handshakeConfirmed {
+		return
+	}
+	c.handshakeConfirmed = true
+	if c.isClient {
+		c.dropSpace(spaceHandshake)
+	}
+	if c.state == stateHandshaking {
+		c.state = stateActive
+	}
+}
+
+func (c *Conn) dropSpace(sp spaceID) {
+	c.spaceActive[sp] = false
+	c.retransmit[sp] = nil
+	c.send[sp].inFlight = nil
+	c.recv[sp].ackQueued = false
+	c.lossTime[sp] = time.Time{}
+}
+
+func hasMsg(r *recvStream, msg []byte) bool {
+	return len(r.delivered) >= len(msg)
+}
+
+// --- sending -----------------------------------------------------------
+
+// Poll returns all datagrams ready to send at time now. Call it after every
+// Receive/Advance and whenever application data was queued.
+func (c *Conn) Poll(now time.Time) [][]byte {
+	if c.state == stateClosed || c.state == stateDraining {
+		return nil
+	}
+	if c.state == stateClosing {
+		if c.closeSent {
+			return nil
+		}
+		c.closeSent = true
+		return [][]byte{c.buildCloseDatagram(now)}
+	}
+	var out [][]byte
+	for len(out) < 64 {
+		d := c.buildDatagram(now)
+		if d == nil {
+			break
+		}
+		c.stats.DatagramsSent++
+		c.stats.BytesSent += len(d)
+		out = append(out, d)
+		c.idleDeadline = now.Add(c.cfg.idleTimeout())
+	}
+	return out
+}
+
+func (c *Conn) buildCloseDatagram(now time.Time) []byte {
+	sp := spaceAppData
+	var payload []byte
+	payload = c.closeFrame.Append(payload)
+	ss := &c.send[sp]
+	hdr := &wire.Header{DstConnID: c.dstCID, PacketNumber: ss.nextPN}
+	if c.handshakeComplete {
+		hdr.SpinBit = c.spin.Next()
+	}
+	buf, err := wire.AppendShortHeader(nil, hdr, payload, ss.largestAckedOrSentinel())
+	if err != nil {
+		panic(err)
+	}
+	ss.nextPN++
+	c.stats.PacketsSent++
+	return buf
+}
+
+func (c *Conn) buildDatagram(now time.Time) []byte {
+	var buf []byte
+	budget := MaxDatagramSize
+
+	for _, sp := range []spaceID{spaceInitial, spaceHandshake} {
+		if !c.spaceActive[sp] {
+			continue
+		}
+		frames, elicits := c.framesFor(sp, now, budget-64)
+		if len(frames) == 0 {
+			continue
+		}
+		padTo := 0
+		if sp == spaceInitial && c.isClient {
+			// RFC 9000 §14.1: client datagrams containing Initial packets
+			// must be at least 1200 bytes. Pad the Initial packet itself.
+			padTo = MinInitialSize - len(buf)
+		}
+		pkt := c.encodeLong(sp, frames, elicits, now, padTo)
+		buf = append(buf, pkt...)
+		budget -= len(pkt)
+	}
+
+	if c.spaceActive[spaceAppData] && c.canSendAppData() {
+		frames, elicits := c.framesFor(spaceAppData, now, budget-40)
+		if len(frames) > 0 {
+			pkt := c.encodeShort(frames, elicits, now)
+			buf = append(buf, pkt...)
+		}
+	}
+
+	if len(buf) == 0 {
+		return nil
+	}
+	return buf
+}
+
+// canSendAppData keeps the server from speaking 1-RTT before confirmation.
+func (c *Conn) canSendAppData() bool {
+	if c.isClient {
+		return c.handshakeComplete
+	}
+	return c.handshakeConfirmed
+}
+
+// framesFor assembles the next packet's frames for a space. It consumes
+// send state, so callers must transmit what it returns.
+func (c *Conn) framesFor(sp spaceID, now time.Time, budget int) ([]wire.Frame, bool) {
+	if budget < 48 {
+		return nil, false
+	}
+	var frames []wire.Frame
+	used := 0
+	elicits := false
+
+	rs := &c.recv[sp]
+	wantAck := rs.ackQueued && len(rs.ranges) > 0
+
+	// Retransmissions first.
+	for len(c.retransmit[sp]) > 0 && used < budget-48 {
+		f := c.retransmit[sp][0]
+		c.retransmit[sp] = c.retransmit[sp][1:]
+		frames = append(frames, f)
+		used += frameSize(f)
+		elicits = elicits || f.AckEliciting()
+	}
+
+	// Crypto data.
+	for used < budget-48 {
+		chunk, off, _, ok := c.cryptoSend[sp].pending(budget - 48 - used)
+		if !ok || len(chunk) == 0 {
+			break
+		}
+		f := &wire.CryptoFrame{Offset: off, Data: chunk}
+		frames = append(frames, f)
+		used += frameSize(f)
+		elicits = true
+	}
+
+	if sp == spaceAppData && c.inFlightElicits() < c.cfg.maxInFlight() {
+		if c.handshakeDoneQueued {
+			c.handshakeDoneQueued = false
+			frames = append(frames, wire.HandshakeDoneFrame{})
+			used++
+			elicits = true
+		}
+		// Stream data in stream-ID order for determinism.
+		ids := make([]uint64, 0, len(c.streamsSend))
+		for id := range c.streamsSend {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			for used < budget-64 {
+				chunk, off, fin, ok := c.streamsSend[id].pending(budget - 64 - used)
+				if !ok {
+					break
+				}
+				f := &wire.StreamFrame{StreamID: id, Offset: off, Data: chunk, Fin: fin}
+				frames = append(frames, f)
+				used += frameSize(f)
+				elicits = true
+			}
+		}
+	}
+
+	if c.probePing[sp] {
+		c.probePing[sp] = false
+		frames = append(frames, wire.PingFrame{})
+		used++
+		elicits = true
+	}
+
+	if len(frames) == 0 && !wantAck {
+		return nil, false
+	}
+	if len(rs.ranges) > 0 && (wantAck || elicits) {
+		ack := rs.ackFrame(now)
+		frames = append([]wire.Frame{ack}, frames...)
+		rs.ackQueued = false
+		rs.ackDeadline = time.Time{}
+		rs.unackedElicits = 0
+	}
+	return frames, elicits
+}
+
+// inFlightElicits counts unacknowledged ack-eliciting 1-RTT packets.
+func (c *Conn) inFlightElicits() int {
+	n := 0
+	for _, p := range c.send[spaceAppData].inFlight {
+		if !p.declared && p.ackEliciting {
+			n++
+		}
+	}
+	return n
+}
+
+func frameSize(f wire.Frame) int {
+	switch fr := f.(type) {
+	case *wire.CryptoFrame:
+		return len(fr.Data) + 1 + 2*8
+	case *wire.StreamFrame:
+		return len(fr.Data) + 1 + 3*8
+	case *wire.AckFrame:
+		return 1 + 4*8 + len(fr.Ranges)*16
+	case wire.PaddingFrame:
+		return fr.N
+	default:
+		return 8
+	}
+}
+
+func (c *Conn) encodeLong(sp spaceID, frames []wire.Frame, elicits bool, now time.Time, padTo int) []byte {
+	ss := &c.send[sp]
+	typ := byte(wire.TypeInitial)
+	if sp == spaceHandshake {
+		typ = wire.TypeHandshake
+	}
+	hdr := &wire.Header{
+		IsLong:       true,
+		Type:         typ,
+		Version:      wire.Version1,
+		DstConnID:    c.dstCID,
+		SrcConnID:    c.scid,
+		PacketNumber: ss.nextPN,
+	}
+	var payload []byte
+	for _, f := range frames {
+		payload = f.Append(payload)
+	}
+	if padTo > 0 {
+		// Exact header size: first byte, version, both length-prefixed
+		// connection IDs, the (empty) token length for Initials, the
+		// payload-length varint, and the packet number.
+		pnl := wire.PacketNumberLen(hdr.PacketNumber, ss.largestAckedOrSentinel())
+		hdrSize := 1 + 4 + 1 + c.dstCID.Len() + 1 + c.scid.Len() + pnl
+		if typ == wire.TypeInitial {
+			hdrSize++ // zero-length token
+		}
+		// Iterate: padding changes the length varint's own size.
+		for i := 0; i < 3; i++ {
+			total := hdrSize + wire.VarintLen(uint64(pnl+len(payload))) + len(payload)
+			if total >= padTo {
+				break
+			}
+			payload = wire.PaddingFrame{N: padTo - total}.Append(payload)
+		}
+	}
+	buf, err := wire.AppendLongHeader(nil, hdr, payload, ss.largestAckedOrSentinel())
+	if err != nil {
+		panic(err) // our own headers are always valid
+	}
+	c.recordSent(sp, ss, hdr, frames, elicits, now, len(buf))
+	return buf
+}
+
+func (c *Conn) encodeShort(frames []wire.Frame, elicits bool, now time.Time) []byte {
+	ss := &c.send[spaceAppData]
+	hdr := &wire.Header{
+		DstConnID:    c.dstCID,
+		PacketNumber: ss.nextPN,
+		SpinBit:      c.spin.Next(),
+	}
+	if c.cfg.EnableVEC && c.spin.Spinning() {
+		hdr.Reserved = c.vec.Next(hdr.SpinBit)
+	}
+	var payload []byte
+	for _, f := range frames {
+		payload = f.Append(payload)
+	}
+	buf, err := wire.AppendShortHeader(nil, hdr, payload, ss.largestAckedOrSentinel())
+	if err != nil {
+		panic(err)
+	}
+	c.stats.ShortSent++
+	c.recordSent(spaceAppData, ss, hdr, frames, elicits, now, len(buf))
+	return buf
+}
+
+func (c *Conn) recordSent(sp spaceID, ss *sendState, hdr *wire.Header, frames []wire.Frame, elicits bool, now time.Time, size int) {
+	var retrans []wire.Frame
+	for _, f := range frames {
+		switch f.(type) {
+		case *wire.CryptoFrame, *wire.StreamFrame, wire.HandshakeDoneFrame, wire.PingFrame, *wire.NewTokenFrame:
+			retrans = append(retrans, f)
+		}
+	}
+	ss.inFlight = append(ss.inFlight, &sentPacket{
+		pn: ss.nextPN, sentAt: now, ackEliciting: elicits, size: size, frames: retrans,
+	})
+	ss.nextPN++
+	c.stats.PacketsSent++
+	c.qlogPacket(qlog.EventPacketSent, now, hdr, size)
+	if elicits {
+		c.armPTO(now)
+	}
+}
+
+// --- timers ------------------------------------------------------------
+
+func (c *Conn) armPTO(now time.Time) {
+	var earliest time.Time
+	for sp := spaceInitial; sp < numSpaces; sp++ {
+		if !c.spaceActive[sp] {
+			continue
+		}
+		if p := c.send[sp].oldestUnacked(); p != nil {
+			if earliest.IsZero() || p.sentAt.Before(earliest) {
+				earliest = p.sentAt
+			}
+		}
+	}
+	if earliest.IsZero() {
+		c.ptoDeadline = time.Time{}
+		return
+	}
+	pto := c.estimator.PTO(c.handshakeComplete) << uint(c.ptoBackoff)
+	c.ptoDeadline = earliest.Add(pto)
+	if c.ptoDeadline.Before(now) {
+		c.ptoDeadline = now
+	}
+}
+
+// NextTimeout returns the earliest time at which Advance must be called,
+// and false if no timer is pending.
+func (c *Conn) NextTimeout() (time.Time, bool) {
+	if c.state == stateClosed {
+		return time.Time{}, false
+	}
+	var t time.Time
+	add := func(u time.Time) {
+		if u.IsZero() {
+			return
+		}
+		if t.IsZero() || u.Before(t) {
+			t = u
+		}
+	}
+	if c.state == stateClosing || c.state == stateDraining {
+		add(c.drainDeadline)
+		return t, !t.IsZero()
+	}
+	add(c.idleDeadline)
+	add(c.ptoDeadline)
+	for sp := spaceInitial; sp < numSpaces; sp++ {
+		add(c.lossTime[sp])
+		add(c.recv[sp].ackDeadline)
+	}
+	return t, !t.IsZero()
+}
+
+// Advance fires all timers with deadlines at or before now. Follow with
+// Poll to transmit whatever the timers produced.
+func (c *Conn) Advance(now time.Time) {
+	if c.state == stateClosed {
+		return
+	}
+	if c.state == stateClosing || c.state == stateDraining {
+		if !c.drainDeadline.IsZero() && !now.Before(c.drainDeadline) {
+			c.state = stateClosed
+		}
+		return
+	}
+	if !now.Before(c.idleDeadline) {
+		c.state = stateClosed
+		if c.termErr == nil {
+			c.termErr = fmt.Errorf("transport: idle timeout after %v", c.cfg.idleTimeout())
+		}
+		return
+	}
+	for sp := spaceInitial; sp < numSpaces; sp++ {
+		if !c.lossTime[sp].IsZero() && !now.Before(c.lossTime[sp]) {
+			c.detectLosses(now, sp)
+			c.send[sp].compact()
+		}
+		rs := &c.recv[sp]
+		if !rs.ackDeadline.IsZero() && !now.Before(rs.ackDeadline) {
+			rs.ackQueued = true
+			rs.ackDeadline = time.Time{}
+		}
+	}
+	if !c.ptoDeadline.IsZero() && !now.Before(c.ptoDeadline) {
+		c.onPTO(now)
+	}
+}
+
+func (c *Conn) onPTO(now time.Time) {
+	c.stats.PTOCount++
+	c.ptoBackoff++
+	if c.ptoBackoff > 10 {
+		// Give up: the peer is unreachable.
+		c.state = stateClosed
+		c.termErr = errors.New("transport: handshake/probe timeout")
+		return
+	}
+	fired := false
+	for sp := spaceInitial; sp < numSpaces; sp++ {
+		if !c.spaceActive[sp] {
+			continue
+		}
+		if p := c.send[sp].oldestUnacked(); p != nil {
+			// Retransmit the oldest unacked packet's payload.
+			p.declared = true
+			c.stats.PacketsLost++
+			c.requeue(sp, p)
+			c.send[sp].compact()
+			if len(p.frames) == 0 {
+				c.probePing[sp] = true
+			}
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		c.probePing[spaceAppData] = true
+	}
+	c.armPTO(now)
+}
+
+// --- qlog --------------------------------------------------------------
+
+func (c *Conn) qlogPacket(event string, now time.Time, hdr *wire.Header, size int) {
+	if c.cfg.Qlog == nil {
+		return
+	}
+	ph := qlog.PacketHeader{PacketNumber: hdr.PacketNumber}
+	if hdr.IsLong {
+		switch hdr.Type {
+		case wire.TypeInitial:
+			ph.PacketType = "initial"
+		case wire.TypeHandshake:
+			ph.PacketType = "handshake"
+		default:
+			ph.PacketType = "long"
+		}
+	} else {
+		ph.PacketType = "1RTT"
+		spin := hdr.SpinBit
+		ph.SpinBit = &spin
+		if c.cfg.EnableVEC {
+			vec := hdr.Reserved
+			ph.VEC = &vec
+		}
+	}
+	_ = c.cfg.Qlog.Emit(now, event, qlog.PacketEvent{Header: ph, Length: size})
+}
+
+func (c *Conn) qlogMetrics(now time.Time) {
+	if c.cfg.Qlog == nil {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	_ = c.cfg.Qlog.MetricsUpdated(now, qlog.MetricsEvent{
+		LatestRTTMs:   ms(c.estimator.Latest()),
+		SmoothedRTTMs: ms(c.estimator.Smoothed()),
+		MinRTTMs:      ms(c.estimator.Min()),
+		RTTVarMs:      ms(c.estimator.Var()),
+	})
+}

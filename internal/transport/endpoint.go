@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"quicspin/internal/wire"
+)
+
+// Endpoint is a server-side connection demultiplexer: it accepts datagrams
+// from many peers over one logical socket and routes them to per-connection
+// state by connection ID, creating connections for new Initials. Like Conn
+// it is sans-IO and single-threaded.
+type Endpoint struct {
+	// NewConnConfig returns the Config for an accepted connection; it is
+	// invoked once per connection so servers can roll per-connection spin
+	// policy dice with distinct qlog writers. Must be non-nil.
+	NewConnConfig func(peer string) Config
+	// OnConn, when non-nil, observes every accepted connection.
+	OnConn func(peer string, conn *Conn)
+
+	// conns routes by the connection ID this server issued (short headers)
+	// and by the client's original DCID (Initial/Handshake long headers).
+	conns map[string]*entry
+	order []*entry
+}
+
+type entry struct {
+	peer string
+	conn *Conn
+}
+
+// NewEndpoint returns an Endpoint that builds accepted connections with
+// newConnConfig.
+func NewEndpoint(newConnConfig func(peer string) Config) *Endpoint {
+	return &Endpoint{NewConnConfig: newConnConfig, conns: make(map[string]*entry)}
+}
+
+// Receive routes one datagram from peer (an opaque address string).
+func (e *Endpoint) Receive(now time.Time, peer string, datagram []byte) error {
+	if len(datagram) == 0 {
+		return nil
+	}
+	var ent *entry
+	if wire.IsLongHeader(datagram[0]) {
+		hdr, _, _, err := wire.ParseHeader(datagram, 0, wire.NoAckedPacket)
+		if err != nil {
+			return fmt.Errorf("endpoint: %w", err)
+		}
+		ent = e.conns[cidKey(hdr.DstConnID)]
+		if ent == nil && hdr.Type == wire.TypeInitial {
+			cfg := e.NewConnConfig(peer)
+			conn := NewServerConn(cfg, hdr.DstConnID, hdr.SrcConnID, now)
+			ent = &entry{peer: peer, conn: conn}
+			// Route future long headers addressed to the ODCID and short
+			// headers addressed to our issued SCID.
+			e.conns[cidKey(hdr.DstConnID)] = ent
+			e.conns[cidKey(conn.SCID())] = ent
+			e.order = append(e.order, ent)
+			if e.OnConn != nil {
+				e.OnConn(peer, conn)
+			}
+		}
+	} else {
+		// Short header: destination CID is one we issued, of known length.
+		cfg := e.connIDLenProbe()
+		if len(datagram) < 1+cfg {
+			return fmt.Errorf("endpoint: runt short-header datagram")
+		}
+		dcid := wire.NewConnectionID(datagram[1 : 1+cfg])
+		ent = e.conns[cidKey(dcid)]
+	}
+	if ent == nil {
+		return nil // stateless: drop unroutable packets
+	}
+	return ent.conn.Receive(now, datagram)
+}
+
+// connIDLenProbe returns the length of connection IDs this endpoint issues.
+// All connections share the configured length.
+func (e *Endpoint) connIDLenProbe() int {
+	return e.NewConnConfig("").connIDLen()
+}
+
+// Outgoing is a datagram with its destination peer.
+type Outgoing struct {
+	Peer string
+	Data []byte
+}
+
+// Poll collects pending datagrams from every connection.
+func (e *Endpoint) Poll(now time.Time) []Outgoing {
+	var out []Outgoing
+	for _, ent := range e.order {
+		for _, d := range ent.conn.Poll(now) {
+			out = append(out, Outgoing{Peer: ent.peer, Data: d})
+		}
+	}
+	return out
+}
+
+// Advance fires timers on every connection and drops closed ones.
+func (e *Endpoint) Advance(now time.Time) {
+	live := e.order[:0]
+	for _, ent := range e.order {
+		ent.conn.Advance(now)
+		if ent.conn.Closed() {
+			delete(e.conns, cidKey(ent.conn.ODCID()))
+			delete(e.conns, cidKey(ent.conn.SCID()))
+			continue
+		}
+		live = append(live, ent)
+	}
+	e.order = live
+}
+
+// NextTimeout returns the earliest timer deadline across connections.
+func (e *Endpoint) NextTimeout() (time.Time, bool) {
+	var t time.Time
+	for _, ent := range e.order {
+		if u, ok := ent.conn.NextTimeout(); ok && (t.IsZero() || u.Before(t)) {
+			t = u
+		}
+	}
+	return t, !t.IsZero()
+}
+
+// Conns returns the live connections in accept order.
+func (e *Endpoint) Conns() []*Conn {
+	out := make([]*Conn, len(e.order))
+	for i, ent := range e.order {
+		out[i] = ent.conn
+	}
+	return out
+}
+
+func cidKey(id wire.ConnectionID) string { return string(id.Bytes()) }

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"quicspin/internal/wire"
+)
+
+var tRef = time.Date(2023, 5, 15, 0, 0, 0, 0, time.UTC)
+
+func TestRecvStateContiguous(t *testing.T) {
+	r := &recvState{}
+	for pn := uint64(0); pn < 5; pn++ {
+		if !r.record(pn, tRef) {
+			t.Fatalf("pn %d reported duplicate", pn)
+		}
+	}
+	want := []wire.AckRange{{Smallest: 0, Largest: 4}}
+	if !reflect.DeepEqual(r.ranges, want) {
+		t.Errorf("ranges = %v, want %v", r.ranges, want)
+	}
+	if r.record(3, tRef) {
+		t.Error("duplicate not detected")
+	}
+}
+
+func TestRecvStateGapsAndMerge(t *testing.T) {
+	r := &recvState{}
+	for _, pn := range []uint64{0, 1, 5, 6, 3} {
+		r.record(pn, tRef)
+	}
+	want := []wire.AckRange{{Smallest: 5, Largest: 6}, {Smallest: 3, Largest: 3}, {Smallest: 0, Largest: 1}}
+	if !reflect.DeepEqual(r.ranges, want) {
+		t.Fatalf("ranges = %v, want %v", r.ranges, want)
+	}
+	// Filling pn 2 and 4 merges everything into one range.
+	r.record(2, tRef)
+	r.record(4, tRef)
+	want = []wire.AckRange{{Smallest: 0, Largest: 6}}
+	if !reflect.DeepEqual(r.ranges, want) {
+		t.Errorf("merged ranges = %v, want %v", r.ranges, want)
+	}
+}
+
+func TestRecvStateOutOfOrderInsertion(t *testing.T) {
+	r := &recvState{}
+	for _, pn := range []uint64{10, 2, 6} {
+		r.record(pn, tRef)
+	}
+	want := []wire.AckRange{{Smallest: 10, Largest: 10}, {Smallest: 6, Largest: 6}, {Smallest: 2, Largest: 2}}
+	if !reflect.DeepEqual(r.ranges, want) {
+		t.Errorf("ranges = %v, want %v", r.ranges, want)
+	}
+	if r.largest != 10 {
+		t.Errorf("largest = %d", r.largest)
+	}
+}
+
+func TestRecvStateAckFrameDelay(t *testing.T) {
+	r := &recvState{}
+	r.record(7, tRef)
+	ack := r.ackFrame(tRef.Add(5 * time.Millisecond))
+	if ack == nil || ack.Largest() != 7 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ack.DelayMicros != 5000 {
+		t.Errorf("delay = %d µs, want 5000", ack.DelayMicros)
+	}
+	if (&recvState{}).ackFrame(tRef) != nil {
+		t.Error("empty recvState produced an ACK")
+	}
+}
+
+func TestRecvStateTrim(t *testing.T) {
+	r := &recvState{}
+	// Every second packet → one range each.
+	for pn := uint64(0); pn < uint64(maxAckRanges*4); pn += 2 {
+		r.record(pn, tRef)
+	}
+	if len(r.ranges) > maxAckRanges {
+		t.Errorf("ranges not trimmed: %d", len(r.ranges))
+	}
+	// The newest (largest) packets must be retained.
+	if r.ranges[0].Largest != uint64(maxAckRanges*4-2) {
+		t.Errorf("trim dropped newest range: %v", r.ranges[0])
+	}
+}
+
+func TestSendStateHelpers(t *testing.T) {
+	s := &sendState{}
+	if s.largestAckedOrSentinel() != wire.NoAckedPacket {
+		t.Error("sentinel missing before first ack")
+	}
+	p1 := &sentPacket{pn: 0, sentAt: tRef, ackEliciting: false}
+	p2 := &sentPacket{pn: 1, sentAt: tRef.Add(time.Millisecond), ackEliciting: true}
+	p3 := &sentPacket{pn: 2, sentAt: tRef.Add(2 * time.Millisecond), ackEliciting: true}
+	s.inFlight = []*sentPacket{p1, p2, p3}
+	if got := s.oldestUnacked(); got != p2 {
+		t.Errorf("oldestUnacked = %+v, want p2", got)
+	}
+	p2.declared = true
+	if got := s.oldestUnacked(); got != p3 {
+		t.Errorf("oldestUnacked after declare = %+v, want p3", got)
+	}
+	s.compact()
+	if len(s.inFlight) != 2 {
+		t.Errorf("compact left %d packets", len(s.inFlight))
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import "sort"
+
+// sendStream buffers outgoing application data for one stream.
+type sendStream struct {
+	data   []byte
+	base   uint64 // offset of data[0] in the stream
+	next   uint64 // next offset to transmit
+	fin    bool
+	finSet bool
+	// finSent tracks whether the FIN has been packetised at least once.
+	finSent bool
+}
+
+// pending returns the next chunk to send (up to max bytes) and its offset,
+// plus whether the chunk carries the FIN. ok is false when nothing remains.
+func (s *sendStream) pending(max int) (data []byte, offset uint64, fin, ok bool) {
+	avail := s.base + uint64(len(s.data)) - s.next
+	if avail == 0 {
+		if s.finSet && !s.finSent {
+			s.finSent = true
+			return nil, s.next, true, true
+		}
+		return nil, 0, false, false
+	}
+	n := int(avail)
+	if n > max {
+		n = max
+	}
+	start := s.next - s.base
+	chunk := s.data[start : start+uint64(n)]
+	offset = s.next
+	s.next += uint64(n)
+	fin = s.finSet && s.next == s.base+uint64(len(s.data))
+	if fin {
+		s.finSent = true
+	}
+	return chunk, offset, fin, true
+}
+
+// segment is a received stream chunk pending reassembly.
+type segment struct {
+	offset uint64
+	data   []byte
+}
+
+// recvStream reassembles incoming stream data.
+type recvStream struct {
+	delivered []byte // contiguous prefix ready for the application
+	nextOff   uint64 // offset after delivered bytes
+	segments  []segment
+	finOff    uint64
+	hasFin    bool
+}
+
+// push inserts a received frame and advances the contiguous prefix.
+func (r *recvStream) push(offset uint64, data []byte, fin bool) {
+	if fin {
+		r.hasFin = true
+		r.finOff = offset + uint64(len(data))
+	}
+	if len(data) > 0 && offset+uint64(len(data)) > r.nextOff {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		r.segments = append(r.segments, segment{offset: offset, data: cp})
+		sort.Slice(r.segments, func(i, j int) bool { return r.segments[i].offset < r.segments[j].offset })
+	}
+	r.drain()
+}
+
+// drain moves contiguous segments into the delivered prefix.
+func (r *recvStream) drain() {
+	changed := true
+	for changed {
+		changed = false
+		rest := r.segments[:0]
+		for _, seg := range r.segments {
+			end := seg.offset + uint64(len(seg.data))
+			switch {
+			case end <= r.nextOff:
+				// Fully duplicate; drop.
+			case seg.offset <= r.nextOff:
+				skip := r.nextOff - seg.offset
+				r.delivered = append(r.delivered, seg.data[skip:]...)
+				r.nextOff = end
+				changed = true
+			default:
+				rest = append(rest, seg)
+			}
+		}
+		r.segments = rest
+	}
+}
+
+// complete reports whether all data up to the FIN has arrived.
+func (r *recvStream) complete() bool {
+	return r.hasFin && r.nextOff >= r.finOff && len(r.segments) == 0
+}

@@ -1,0 +1,197 @@
+// Package udprun drives sans-IO transport endpoints over real UDP
+// sockets. The same connection code that runs under the virtual-time
+// emulator (internal/netem) runs here against the wall clock, which is how
+// cmd/spinserver and cmd/spinprobe operate on real networks.
+package udprun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"quicspin/internal/transport"
+)
+
+// readChunk is the receive buffer size (≥ any QUIC-lite datagram).
+const readChunk = 2048
+
+// pollGranularity bounds how long the run loop sleeps in reads so that
+// context cancellation and external Kicks are honoured promptly.
+const pollGranularity = 50 * time.Millisecond
+
+// ConnRunner drives one client connection over a PacketConn.
+type ConnRunner struct {
+	// OnActivity runs after every receive or timer event while holding the
+	// runner lock; use it to queue stream data and inspect state.
+	OnActivity func(conn *transport.Conn, now time.Time)
+
+	conn   *transport.Conn
+	pc     net.PacketConn
+	remote net.Addr
+
+	mu sync.Mutex
+}
+
+// NewConnRunner wraps conn for IO via pc toward remote.
+func NewConnRunner(conn *transport.Conn, pc net.PacketConn, remote net.Addr) *ConnRunner {
+	return &ConnRunner{conn: conn, pc: pc, remote: remote}
+}
+
+// Conn returns the driven connection. Callers must hold no assumptions
+// about concurrent state changes; use Do for synchronised access.
+func (r *ConnRunner) Conn() *transport.Conn { return r.conn }
+
+// Do runs fn with the runner lock held, for safe cross-goroutine access to
+// the connection (e.g. queueing a request from the main goroutine).
+func (r *ConnRunner) Do(fn func(conn *transport.Conn)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.conn)
+	r.flushLocked(time.Now())
+}
+
+// Run pumps the connection until it closes, the context is cancelled, or a
+// socket error occurs. It blocks; run it in its own goroutine if needed.
+func (r *ConnRunner) Run(ctx context.Context) error {
+	buf := make([]byte, readChunk)
+	r.Do(func(*transport.Conn) {}) // transmit the first flight
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		now := time.Now()
+		r.conn.Advance(now)
+		if r.OnActivity != nil {
+			r.OnActivity(r.conn, now)
+		}
+		r.flushLocked(now)
+		closed := r.conn.Closed()
+		deadline, ok := r.conn.NextTimeout()
+		r.mu.Unlock()
+		if closed {
+			return nil
+		}
+		readDeadline := time.Now().Add(pollGranularity)
+		if ok && deadline.Before(readDeadline) {
+			readDeadline = deadline
+		}
+		if err := r.pc.SetReadDeadline(readDeadline); err != nil {
+			return fmt.Errorf("udprun: set deadline: %w", err)
+		}
+		n, _, err := r.pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("udprun: read: %w", err)
+		}
+		r.mu.Lock()
+		now = time.Now()
+		_ = r.conn.Receive(now, buf[:n]) // malformed input only stalls this conn
+		if r.OnActivity != nil {
+			r.OnActivity(r.conn, now)
+		}
+		r.flushLocked(now)
+		r.mu.Unlock()
+	}
+}
+
+func (r *ConnRunner) flushLocked(now time.Time) {
+	for _, d := range r.conn.Poll(now) {
+		if _, err := r.pc.WriteTo(d, r.remote); err != nil {
+			return // transient send errors are handled by loss recovery
+		}
+	}
+}
+
+// EndpointRunner drives a server transport.Endpoint over a PacketConn.
+type EndpointRunner struct {
+	// OnActivity runs after each event with the lock held, letting the
+	// application serve completed request streams.
+	OnActivity func(ep *transport.Endpoint, now time.Time)
+
+	ep *transport.Endpoint
+	pc net.PacketConn
+
+	mu    sync.Mutex
+	peers map[string]net.Addr
+}
+
+// NewEndpointRunner wraps ep for IO via pc.
+func NewEndpointRunner(ep *transport.Endpoint, pc net.PacketConn) *EndpointRunner {
+	return &EndpointRunner{ep: ep, pc: pc, peers: map[string]net.Addr{}}
+}
+
+// Endpoint returns the driven endpoint.
+func (r *EndpointRunner) Endpoint() *transport.Endpoint { return r.ep }
+
+// Do runs fn with the runner lock held and flushes afterwards.
+func (r *EndpointRunner) Do(fn func(ep *transport.Endpoint)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.ep)
+	r.flushLocked(time.Now())
+}
+
+// Run pumps the endpoint until the context is cancelled or a socket error
+// occurs.
+func (r *EndpointRunner) Run(ctx context.Context) error {
+	buf := make([]byte, readChunk)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		now := time.Now()
+		r.ep.Advance(now)
+		if r.OnActivity != nil {
+			r.OnActivity(r.ep, now)
+		}
+		r.flushLocked(now)
+		deadline, ok := r.ep.NextTimeout()
+		r.mu.Unlock()
+
+		readDeadline := time.Now().Add(pollGranularity)
+		if ok && deadline.Before(readDeadline) {
+			readDeadline = deadline
+		}
+		if err := r.pc.SetReadDeadline(readDeadline); err != nil {
+			return fmt.Errorf("udprun: set deadline: %w", err)
+		}
+		n, from, err := r.pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("udprun: read: %w", err)
+		}
+		r.mu.Lock()
+		now = time.Now()
+		key := from.String()
+		r.peers[key] = from
+		_ = r.ep.Receive(now, key, buf[:n]) // unroutable datagrams dropped
+		if r.OnActivity != nil {
+			r.OnActivity(r.ep, now)
+		}
+		r.flushLocked(now)
+		r.mu.Unlock()
+	}
+}
+
+func (r *EndpointRunner) flushLocked(now time.Time) {
+	for _, out := range r.ep.Poll(now) {
+		addr := r.peers[out.Peer]
+		if addr == nil {
+			continue
+		}
+		if _, err := r.pc.WriteTo(out.Data, addr); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Version1 is the QUIC version number this package implements (RFC 9000).
+const Version1 uint32 = 0x00000001
+
+// Long-header packet types (RFC 9000 §17.2), values of the 2-bit type field.
+const (
+	TypeInitial   = 0x0
+	Type0RTT      = 0x1
+	TypeHandshake = 0x2
+	TypeRetry     = 0x3
+)
+
+// First-byte bit masks (RFC 9000 §17).
+const (
+	// HeaderFormBit distinguishes long (1) from short (0) headers.
+	HeaderFormBit = 0x80
+	// FixedBit must be set on all QUIC v1 packets.
+	FixedBit = 0x40
+	// SpinBitMask is the latency spin bit in short-header packets
+	// (RFC 9000 §17.3.1, §17.4).
+	SpinBitMask = 0x20
+	// KeyPhaseBit is the key-phase bit in short-header packets.
+	KeyPhaseBit = 0x04
+)
+
+// MaxConnIDLen is the longest connection ID RFC 9000 permits.
+const MaxConnIDLen = 20
+
+// ErrInvalidHeader reports a malformed or unsupported packet header.
+var ErrInvalidHeader = errors.New("wire: invalid packet header")
+
+// ConnectionID is a QUIC connection ID of 0–20 bytes.
+type ConnectionID struct {
+	b [MaxConnIDLen]byte
+	n uint8
+}
+
+// NewConnectionID copies b into a ConnectionID. It panics if b exceeds
+// MaxConnIDLen, which indicates a programming error.
+func NewConnectionID(b []byte) ConnectionID {
+	if len(b) > MaxConnIDLen {
+		panic("wire: connection ID longer than 20 bytes")
+	}
+	var c ConnectionID
+	c.n = uint8(len(b))
+	copy(c.b[:], b)
+	return c
+}
+
+// Len returns the length of the connection ID in bytes.
+func (c ConnectionID) Len() int { return int(c.n) }
+
+// Bytes returns the connection ID contents. The result aliases internal
+// storage of the (value-type) receiver and must not be modified.
+func (c ConnectionID) Bytes() []byte { return c.b[:c.n] }
+
+// Equal reports whether two connection IDs are byte-wise identical.
+func (c ConnectionID) Equal(o ConnectionID) bool {
+	return c.n == o.n && c.b == o.b
+}
+
+// String formats the connection ID as lowercase hex.
+func (c ConnectionID) String() string {
+	return fmt.Sprintf("%x", c.Bytes())
+}
+
+// Header is a decoded QUIC packet header. For long headers all fields are
+// meaningful; for short headers only DstConnID, SpinBit, KeyPhase,
+// PacketNumber and PacketNumberLen apply.
+type Header struct {
+	// IsLong reports whether this is a long header packet.
+	IsLong bool
+	// Type is the long-header packet type (TypeInitial etc.). Only valid
+	// when IsLong is true.
+	Type byte
+	// Version is the QUIC version from the long header.
+	Version uint32
+	// DstConnID and SrcConnID are the connection IDs. Short headers carry
+	// only the destination connection ID.
+	DstConnID ConnectionID
+	SrcConnID ConnectionID
+	// Token is the Initial packet token (empty elsewhere).
+	Token []byte
+	// Length is the long-header payload length field (packet number +
+	// payload bytes).
+	Length uint64
+	// SpinBit is the latency spin bit of a short-header packet.
+	SpinBit bool
+	// KeyPhase is the key-phase bit of a short-header packet.
+	KeyPhase bool
+	// Reserved carries the two reserved bits (0x18) of a short-header
+	// packet. RFC 9000 greases them to zero under header protection; this
+	// library optionally transports the Valid Edge Counter extension of
+	// De Vaere et al. in them.
+	Reserved uint8
+	// PacketNumber is the full, already-decoded packet number.
+	PacketNumber uint64
+	// PacketNumberLen is the encoded packet number length in bytes (1–4).
+	PacketNumberLen int
+}
+
+// PacketNumberLen returns the packet-number encoding length (1–4 bytes)
+// AppendLongHeader and AppendShortHeader will use for pn given
+// largestAcked. Callers use it to pre-compute exact header sizes, e.g. for
+// Initial datagram padding.
+func PacketNumberLen(pn, largestAcked uint64) int { return pnLen(pn, largestAcked) }
+
+// pnLen returns the minimal packet-number encoding length (1–4 bytes) that
+// lets the receiver reconstruct pn given the largest acknowledged packet
+// number largestAcked (RFC 9000 §A.2). Use NoAckedPacket when nothing has
+// been acknowledged yet.
+func pnLen(pn uint64, largestAcked uint64) int {
+	var numUnacked uint64
+	if largestAcked == NoAckedPacket {
+		numUnacked = pn + 1
+	} else {
+		numUnacked = pn - largestAcked
+	}
+	switch {
+	case numUnacked < 1<<7:
+		return 1
+	case numUnacked < 1<<15:
+		return 2
+	case numUnacked < 1<<23:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// NoAckedPacket is a sentinel for "no packet acknowledged yet" used when
+// choosing packet-number encodings.
+const NoAckedPacket = ^uint64(0)
+
+// appendPacketNumber appends the pnLen-byte truncation of pn.
+func appendPacketNumber(b []byte, pn uint64, length int) []byte {
+	switch length {
+	case 1:
+		return append(b, byte(pn))
+	case 2:
+		return append(b, byte(pn>>8), byte(pn))
+	case 3:
+		return append(b, byte(pn>>16), byte(pn>>8), byte(pn))
+	case 4:
+		return append(b, byte(pn>>24), byte(pn>>16), byte(pn>>8), byte(pn))
+	default:
+		panic("wire: invalid packet number length")
+	}
+}
+
+// DecodePacketNumber expands a truncated packet number to its full value
+// following RFC 9000 §A.3, given the largest packet number received so far
+// (or NoAckedPacket if none).
+func DecodePacketNumber(largest uint64, truncated uint64, nbytes int) uint64 {
+	if largest == NoAckedPacket {
+		return truncated
+	}
+	expected := largest + 1
+	win := uint64(1) << (nbytes * 8)
+	hwin := win / 2
+	mask := win - 1
+	candidate := (expected &^ mask) | truncated
+	switch {
+	case candidate+hwin <= expected && candidate+win < (1<<62):
+		return candidate + win
+	case candidate > expected+hwin && candidate >= win:
+		return candidate - win
+	default:
+		return candidate
+	}
+}
+
+// AppendLongHeader encodes a long-header packet (RFC 9000 §17.2) with the
+// given payload and appends it to b. The Length field is computed from the
+// packet number length and payload size. h.PacketNumberLen is chosen
+// automatically from h.PacketNumber and largestAcked.
+func AppendLongHeader(b []byte, h *Header, payload []byte, largestAcked uint64) ([]byte, error) {
+	if h.Type > 0x3 {
+		return nil, fmt.Errorf("%w: long header type %#x", ErrInvalidHeader, h.Type)
+	}
+	pnl := pnLen(h.PacketNumber, largestAcked)
+	first := byte(HeaderFormBit|FixedBit) | h.Type<<4 | byte(pnl-1)
+	b = append(b, first)
+	b = append(b, byte(h.Version>>24), byte(h.Version>>16), byte(h.Version>>8), byte(h.Version))
+	b = append(b, byte(h.DstConnID.Len()))
+	b = append(b, h.DstConnID.Bytes()...)
+	b = append(b, byte(h.SrcConnID.Len()))
+	b = append(b, h.SrcConnID.Bytes()...)
+	if h.Type == TypeInitial {
+		b = AppendVarint(b, uint64(len(h.Token)))
+		b = append(b, h.Token...)
+	}
+	b = AppendVarint(b, uint64(pnl+len(payload)))
+	b = appendPacketNumber(b, h.PacketNumber, pnl)
+	b = append(b, payload...)
+	return b, nil
+}
+
+// AppendShortHeader encodes a short-header (1-RTT) packet (RFC 9000 §17.3)
+// carrying the spin bit and appends it to b.
+func AppendShortHeader(b []byte, h *Header, payload []byte, largestAcked uint64) ([]byte, error) {
+	pnl := pnLen(h.PacketNumber, largestAcked)
+	first := byte(FixedBit) | byte(pnl-1)
+	if h.SpinBit {
+		first |= SpinBitMask
+	}
+	if h.KeyPhase {
+		first |= KeyPhaseBit
+	}
+	first |= (h.Reserved & 0x3) << 3
+	b = append(b, first)
+	b = append(b, h.DstConnID.Bytes()...)
+	b = appendPacketNumber(b, h.PacketNumber, pnl)
+	b = append(b, payload...)
+	return b, nil
+}
+
+// IsLongHeader reports whether the first byte of a datagram starts a
+// long-header packet.
+func IsLongHeader(first byte) bool { return first&HeaderFormBit != 0 }
+
+// ParseHeader decodes one packet header from the front of data.
+//
+// For short headers the destination connection ID length is not
+// self-describing, so the caller supplies dcidLen (the length of the
+// connection IDs this endpoint issues). largestRecvd is the largest packet
+// number received so far in the corresponding packet-number space (or
+// NoAckedPacket) and is used to expand the truncated packet number.
+//
+// It returns the parsed header, the payload, and the total number of bytes
+// consumed from data (long-header packets may be coalesced, so consumed can
+// be < len(data)).
+func ParseHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, []byte, int, error) {
+	if len(data) == 0 {
+		return nil, nil, 0, ErrTruncated
+	}
+	first := data[0]
+	if first&FixedBit == 0 {
+		return nil, nil, 0, fmt.Errorf("%w: fixed bit not set", ErrInvalidHeader)
+	}
+	if IsLongHeader(first) {
+		return parseLongHeader(data)
+	}
+	return parseShortHeader(data, dcidLen, largestRecvd)
+}
+
+func parseLongHeader(data []byte) (*Header, []byte, int, error) {
+	h := &Header{IsLong: true, Type: (data[0] >> 4) & 0x3}
+	pnl := int(data[0]&0x3) + 1
+	pos := 1
+	if len(data) < pos+4 {
+		return nil, nil, 0, ErrTruncated
+	}
+	h.Version = uint32(data[pos])<<24 | uint32(data[pos+1])<<16 | uint32(data[pos+2])<<8 | uint32(data[pos+3])
+	pos += 4
+	if h.Version != Version1 {
+		return nil, nil, 0, fmt.Errorf("%w: unsupported version %#x", ErrInvalidHeader, h.Version)
+	}
+	var err error
+	h.DstConnID, pos, err = consumeConnID(data, pos)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	h.SrcConnID, pos, err = consumeConnID(data, pos)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if h.Type == TypeInitial {
+		tl, n, err := ConsumeVarint(data[pos:])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		pos += n
+		if uint64(len(data)-pos) < tl {
+			return nil, nil, 0, fmt.Errorf("%w: token", ErrTruncated)
+		}
+		h.Token = data[pos : pos+int(tl)]
+		pos += int(tl)
+	}
+	length, n, err := ConsumeVarint(data[pos:])
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pos += n
+	h.Length = length
+	if length < uint64(pnl) || uint64(len(data)-pos) < length {
+		return nil, nil, 0, fmt.Errorf("%w: length field %d", ErrTruncated, length)
+	}
+	h.PacketNumberLen = pnl
+	h.PacketNumber = consumeTruncatedPN(data[pos:], pnl)
+	pos += pnl
+	payload := data[pos : pos+int(length)-pnl]
+	consumed := pos + int(length) - pnl
+	return h, payload, consumed, nil
+}
+
+func parseShortHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, []byte, int, error) {
+	first := data[0]
+	h := &Header{
+		SpinBit:  first&SpinBitMask != 0,
+		KeyPhase: first&KeyPhaseBit != 0,
+		Reserved: (first >> 3) & 0x3,
+	}
+	pnl := int(first&0x3) + 1
+	pos := 1
+	if len(data) < pos+dcidLen+pnl {
+		return nil, nil, 0, ErrTruncated
+	}
+	h.DstConnID = NewConnectionID(data[pos : pos+dcidLen])
+	pos += dcidLen
+	h.PacketNumberLen = pnl
+	truncated := consumeTruncatedPN(data[pos:], pnl)
+	h.PacketNumber = DecodePacketNumber(largestRecvd, truncated, pnl)
+	pos += pnl
+	// A short-header packet extends to the end of the datagram.
+	return h, data[pos:], len(data), nil
+}
+
+func consumeConnID(data []byte, pos int) (ConnectionID, int, error) {
+	if len(data) < pos+1 {
+		return ConnectionID{}, 0, ErrTruncated
+	}
+	l := int(data[pos])
+	pos++
+	if l > MaxConnIDLen {
+		return ConnectionID{}, 0, fmt.Errorf("%w: connection ID length %d", ErrInvalidHeader, l)
+	}
+	if len(data) < pos+l {
+		return ConnectionID{}, 0, ErrTruncated
+	}
+	id := NewConnectionID(data[pos : pos+l])
+	return id, pos + l, nil
+}
+
+func consumeTruncatedPN(b []byte, length int) uint64 {
+	var v uint64
+	for i := 0; i < length; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

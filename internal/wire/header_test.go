@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectionID(t *testing.T) {
+	a := NewConnectionID([]byte{1, 2, 3, 4})
+	b := NewConnectionID([]byte{1, 2, 3, 4})
+	c := NewConnectionID([]byte{1, 2, 3})
+	if !a.Equal(b) {
+		t.Error("equal IDs reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("IDs of different length reported equal")
+	}
+	if a.Len() != 4 || c.Len() != 3 {
+		t.Errorf("Len: got %d, %d", a.Len(), c.Len())
+	}
+	if a.String() != "01020304" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !bytes.Equal(a.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Errorf("Bytes = %x", a.Bytes())
+	}
+}
+
+func TestConnectionIDTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 21-byte connection ID")
+		}
+	}()
+	NewConnectionID(make([]byte, 21))
+}
+
+func TestLongHeaderRoundTrip(t *testing.T) {
+	for _, typ := range []byte{TypeInitial, TypeHandshake} {
+		h := &Header{
+			IsLong:       true,
+			Type:         typ,
+			Version:      Version1,
+			DstConnID:    NewConnectionID([]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00, 0x11}),
+			SrcConnID:    NewConnectionID([]byte{0x01, 0x02}),
+			PacketNumber: 7,
+		}
+		if typ == TypeInitial {
+			h.Token = []byte("tok")
+		}
+		payload := []byte{FrameTypePing, FrameTypePadding, FrameTypePadding}
+		buf, err := AppendLongHeader(nil, h, payload, NoAckedPacket)
+		if err != nil {
+			t.Fatalf("AppendLongHeader: %v", err)
+		}
+		got, pl, consumed, err := ParseHeader(buf, 0, NoAckedPacket)
+		if err != nil {
+			t.Fatalf("ParseHeader: %v", err)
+		}
+		if consumed != len(buf) {
+			t.Errorf("consumed %d of %d bytes", consumed, len(buf))
+		}
+		if !got.IsLong || got.Type != typ || got.Version != Version1 {
+			t.Errorf("header mismatch: %+v", got)
+		}
+		if !got.DstConnID.Equal(h.DstConnID) || !got.SrcConnID.Equal(h.SrcConnID) {
+			t.Errorf("connection ID mismatch: %+v", got)
+		}
+		if typ == TypeInitial && string(got.Token) != "tok" {
+			t.Errorf("token = %q", got.Token)
+		}
+		if got.PacketNumber != 7 {
+			t.Errorf("packet number = %d", got.PacketNumber)
+		}
+		if !bytes.Equal(pl, payload) {
+			t.Errorf("payload = %x, want %x", pl, payload)
+		}
+	}
+}
+
+func TestShortHeaderRoundTripSpin(t *testing.T) {
+	dcid := NewConnectionID([]byte{9, 8, 7, 6, 5, 4, 3, 2})
+	for _, spin := range []bool{false, true} {
+		h := &Header{DstConnID: dcid, SpinBit: spin, PacketNumber: 1234}
+		payload := []byte{FrameTypePing}
+		buf, err := AppendShortHeader(nil, h, payload, 1000)
+		if err != nil {
+			t.Fatalf("AppendShortHeader: %v", err)
+		}
+		if IsLongHeader(buf[0]) {
+			t.Fatal("short header parsed as long")
+		}
+		got, pl, consumed, err := ParseHeader(buf, dcid.Len(), 1233)
+		if err != nil {
+			t.Fatalf("ParseHeader: %v", err)
+		}
+		if consumed != len(buf) {
+			t.Errorf("consumed = %d, want %d", consumed, len(buf))
+		}
+		if got.SpinBit != spin {
+			t.Errorf("spin bit = %v, want %v", got.SpinBit, spin)
+		}
+		if got.PacketNumber != 1234 {
+			t.Errorf("packet number = %d, want 1234", got.PacketNumber)
+		}
+		if !got.DstConnID.Equal(dcid) || !bytes.Equal(pl, payload) {
+			t.Errorf("header/payload mismatch: %+v %x", got, pl)
+		}
+	}
+}
+
+func TestSpinBitIsBit0x20(t *testing.T) {
+	h := &Header{DstConnID: NewConnectionID(nil), SpinBit: true, PacketNumber: 0}
+	buf, err := AppendShortHeader(nil, h, []byte{FrameTypePing}, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0]&0x20 == 0 {
+		t.Errorf("first byte %08b does not have the 0x20 spin bit set", buf[0])
+	}
+	h.SpinBit = false
+	buf, err = AppendShortHeader(nil, h, []byte{FrameTypePing}, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0]&0x20 != 0 {
+		t.Errorf("first byte %08b has the spin bit set for SpinBit=false", buf[0])
+	}
+}
+
+func TestShortHeaderReservedBitsRoundTrip(t *testing.T) {
+	dcid := NewConnectionID([]byte{1, 2})
+	for vec := uint8(0); vec <= 3; vec++ {
+		h := &Header{DstConnID: dcid, Reserved: vec, PacketNumber: 9}
+		buf, err := AppendShortHeader(nil, h, []byte{FrameTypePing}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := ParseHeader(buf, dcid.Len(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Reserved != vec {
+			t.Errorf("reserved = %d, want %d", got.Reserved, vec)
+		}
+	}
+}
+
+func TestDecodePacketNumberRFCExample(t *testing.T) {
+	// RFC 9000 §A.3 example: expected 0xa82f30ea, received 2-byte 0x9b32.
+	if got := DecodePacketNumber(0xa82f30e9, 0x9b32, 2); got != 0xa82f9b32 {
+		t.Errorf("DecodePacketNumber = %#x, want 0xa82f9b32", got)
+	}
+}
+
+func TestDecodePacketNumberNoHistory(t *testing.T) {
+	if got := DecodePacketNumber(NoAckedPacket, 42, 1); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestPacketNumberRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(largestSeed uint64, delta uint16) bool {
+		largest := largestSeed % (1 << 40)
+		pn := largest + 1 + uint64(delta)%128 // next packets within window
+		pnl := pnLen(pn, largest)
+		truncated := pn & ((1 << (pnl * 8)) - 1)
+		return DecodePacketNumber(largest, truncated, pnl) == pn
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no fixed bit", []byte{0x00, 0x01}},
+		{"long truncated version", []byte{0xc0, 0x00, 0x00}},
+		{"bad version", []byte{0xc0, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x01, 0x00}},
+		{"short too short", []byte{0x40}},
+	}
+	for _, c := range cases {
+		if _, _, _, err := ParseHeader(c.data, 8, NoAckedPacket); err == nil {
+			t.Errorf("%s: ParseHeader succeeded on malformed input %x", c.name, c.data)
+		}
+	}
+}
+
+func TestParseHeaderCoalesced(t *testing.T) {
+	h1 := &Header{IsLong: true, Type: TypeInitial, Version: Version1,
+		DstConnID: NewConnectionID([]byte{1}), SrcConnID: NewConnectionID([]byte{2}), PacketNumber: 0}
+	h2 := &Header{IsLong: true, Type: TypeHandshake, Version: Version1,
+		DstConnID: NewConnectionID([]byte{1}), SrcConnID: NewConnectionID([]byte{2}), PacketNumber: 0}
+	buf, err := AppendLongHeader(nil, h1, []byte{FrameTypePing}, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := len(buf)
+	buf, err = AppendLongHeader(buf, h2, []byte{FrameTypePing, FrameTypePing}, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, consumed, err := ParseHeader(buf, 1, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeInitial || consumed != firstLen {
+		t.Fatalf("first packet: type %d consumed %d (want %d)", got.Type, consumed, firstLen)
+	}
+	got2, pl2, consumed2, err := ParseHeader(buf[consumed:], 1, NoAckedPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Type != TypeHandshake || consumed2 != len(buf)-firstLen || len(pl2) != 2 {
+		t.Fatalf("second packet: %+v consumed %d payload %x", got2, consumed2, pl2)
+	}
+}
+
+func TestPnLenGrowth(t *testing.T) {
+	cases := []struct {
+		pn, largestAcked uint64
+		want             int
+	}{
+		{0, NoAckedPacket, 1},
+		{126, NoAckedPacket, 1},
+		{127, NoAckedPacket, 2},
+		{200, 100, 1},
+		{30000, 100, 2},
+		{8_000_000, 100, 3},
+		{1 << 30, 100, 4},
+	}
+	for _, c := range cases {
+		if got := pnLen(c.pn, c.largestAcked); got != c.want {
+			t.Errorf("pnLen(%d, %d) = %d, want %d", c.pn, c.largestAcked, got, c.want)
+		}
+	}
+}
+
+func BenchmarkAppendShortHeader(b *testing.B) {
+	h := &Header{DstConnID: NewConnectionID(make([]byte, 8)), SpinBit: true, PacketNumber: 100}
+	payload := make([]byte, 64)
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		h.PacketNumber = uint64(i)
+		buf, err = AppendShortHeader(buf[:0], h, payload, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseShortHeader(b *testing.B) {
+	h := &Header{DstConnID: NewConnectionID(make([]byte, 8)), SpinBit: true, PacketNumber: 100}
+	buf, err := AppendShortHeader(nil, h, make([]byte, 64), 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ParseHeader(buf, 8, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package wire implements the QUIC version 1 wire format used by the
+// QUIC-lite transport: variable-length integers, connection IDs, long and
+// short packet headers (including the latency spin bit), and the subset of
+// frames the transport needs (RFC 9000 §16–§19).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Variable-length integer bounds per RFC 9000 §16.
+const (
+	// MaxVarint1 is the largest value encodable in one byte.
+	MaxVarint1 = 1<<6 - 1
+	// MaxVarint2 is the largest value encodable in two bytes.
+	MaxVarint2 = 1<<14 - 1
+	// MaxVarint4 is the largest value encodable in four bytes.
+	MaxVarint4 = 1<<30 - 1
+	// MaxVarint8 is the largest value encodable in eight bytes and the
+	// largest value representable as a QUIC varint at all.
+	MaxVarint8 = 1<<62 - 1
+)
+
+// ErrVarintRange reports a value too large to encode as a QUIC varint.
+var ErrVarintRange = errors.New("wire: value exceeds 2^62-1 varint range")
+
+// ErrTruncated reports a buffer that ended in the middle of a field.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// VarintLen returns the number of bytes AppendVarint uses for v.
+// It panics if v exceeds MaxVarint8; use it only on validated values.
+func VarintLen(v uint64) int {
+	switch {
+	case v <= MaxVarint1:
+		return 1
+	case v <= MaxVarint2:
+		return 2
+	case v <= MaxVarint4:
+		return 4
+	case v <= MaxVarint8:
+		return 8
+	default:
+		panic(ErrVarintRange)
+	}
+}
+
+// AppendVarint appends the minimal QUIC varint encoding of v to b.
+// It panics if v exceeds MaxVarint8.
+func AppendVarint(b []byte, v uint64) []byte {
+	switch {
+	case v <= MaxVarint1:
+		return append(b, byte(v))
+	case v <= MaxVarint2:
+		return append(b, byte(v>>8)|0x40, byte(v))
+	case v <= MaxVarint4:
+		return append(b, byte(v>>24)|0x80, byte(v>>16), byte(v>>8), byte(v))
+	case v <= MaxVarint8:
+		return append(b, byte(v>>56)|0xc0, byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic(ErrVarintRange)
+	}
+}
+
+// ConsumeVarint decodes a varint from the front of b and returns the value
+// and the number of bytes consumed. It returns ErrTruncated if b is too
+// short.
+func ConsumeVarint(b []byte) (uint64, int, error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	length := 1 << (b[0] >> 6)
+	if len(b) < length {
+		return 0, 0, fmt.Errorf("%w: varint needs %d bytes, have %d", ErrTruncated, length, len(b))
+	}
+	v := uint64(b[0] & 0x3f)
+	for i := 1; i < length; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, length, nil
+}

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{37, []byte{0x25}},
+		{63, []byte{0x3f}},
+		{64, []byte{0x40, 0x40}},
+		{15293, []byte{0x7b, 0xbd}},
+		{16383, []byte{0x7f, 0xff}},
+		{16384, []byte{0x80, 0x00, 0x40, 0x00}},
+		{494878333, []byte{0x9d, 0x7f, 0x3e, 0x7d}},
+		{1073741823, []byte{0xbf, 0xff, 0xff, 0xff}},
+		{1073741824, []byte{0xc0, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00}},
+		{151288809941952652, []byte{0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c}},
+		{MaxVarint8, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, c := range cases {
+		got := AppendVarint(nil, c.v)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("AppendVarint(%d) = %x, want %x", c.v, got, c.want)
+		}
+		if l := VarintLen(c.v); l != len(c.want) {
+			t.Errorf("VarintLen(%d) = %d, want %d", c.v, l, len(c.want))
+		}
+		v, n, err := ConsumeVarint(got)
+		if err != nil || v != c.v || n != len(c.want) {
+			t.Errorf("ConsumeVarint(%x) = (%d, %d, %v), want (%d, %d, nil)", got, v, n, err, c.v, len(c.want))
+		}
+	}
+}
+
+func TestVarintRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendVarint(2^62) did not panic")
+		}
+	}()
+	AppendVarint(nil, 1<<62)
+}
+
+func TestVarintLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VarintLen(MaxUint64) did not panic")
+		}
+	}()
+	VarintLen(math.MaxUint64)
+}
+
+func TestConsumeVarintTruncated(t *testing.T) {
+	for _, b := range [][]byte{nil, {0x40}, {0x80, 0x01}, {0xc0, 1, 2, 3}} {
+		if _, _, err := ConsumeVarint(b); err == nil {
+			t.Errorf("ConsumeVarint(%x) succeeded on truncated input", b)
+		}
+	}
+}
+
+func TestVarintQuickRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= MaxVarint8
+		got, n, err := ConsumeVarint(AppendVarint(nil, v))
+		return err == nil && got == v && n == VarintLen(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintEncodingIsMinimal(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= MaxVarint8
+		l := VarintLen(v)
+		// No shorter encoding class could hold v.
+		switch l {
+		case 2:
+			return v > MaxVarint1
+		case 4:
+			return v > MaxVarint2
+		case 8:
+			return v > MaxVarint4
+		}
+		return l == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintAppendPreservesPrefix(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	out := AppendVarint(append([]byte(nil), prefix...), 300)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatalf("prefix clobbered: %x", out)
+	}
+	v, _, err := ConsumeVarint(out[2:])
+	if err != nil || v != 300 {
+		t.Fatalf("ConsumeVarint = (%d, %v)", v, err)
+	}
+}
+
+func BenchmarkAppendVarint(b *testing.B) {
+	buf := make([]byte, 0, 16)
+	for i := 0; i < b.N; i++ {
+		buf = AppendVarint(buf[:0], uint64(i)&MaxVarint8)
+	}
+}
+
+func BenchmarkConsumeVarint(b *testing.B) {
+	buf := AppendVarint(nil, 494878333)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ConsumeVarint(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
