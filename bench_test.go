@@ -56,12 +56,12 @@ func fixture(b *testing.B) (*websim.World, *analysis.Week, *analysis.Week, []*an
 		fmt.Printf("## generating world at scale 1/%d and scanning (set QUICSPIN_SCALE to change)...\n", scale)
 		start := time.Now()
 		benchW = websim.Generate(prof)
-		r4 := scanner.Run(benchW, scanner.Config{Week: prof.Weeks, Engine: scanner.EngineEmulated, Seed: 99})
+		r4 := mustRun(benchW, scanner.Config{Week: prof.Weeks, Engine: scanner.EngineEmulated, Seed: 99})
 		benchV4 = analysis.Analyze(r4)
-		r6 := scanner.Run(benchW, scanner.Config{Week: prof.Weeks, IPv6: true, Engine: scanner.EngineEmulated, Seed: 99})
+		r6 := mustRun(benchW, scanner.Config{Week: prof.Weeks, IPv6: true, Engine: scanner.EngineEmulated, Seed: 99})
 		benchV6 = analysis.Analyze(r6)
 		for wk := 1; wk <= prof.Weeks; wk++ {
-			r := scanner.Run(benchW, scanner.Config{Week: wk, Engine: scanner.EngineFast, Seed: 99})
+			r := mustRun(benchW, scanner.Config{Week: wk, Engine: scanner.EngineFast, Seed: 99})
 			benchLong = append(benchLong, analysis.Analyze(r))
 		}
 		fmt.Printf("## campaign complete in %v (%d domains, %d servers)\n\n",
@@ -258,7 +258,7 @@ func BenchmarkScanThroughput(b *testing.B) {
 	}{{"emulated", scanner.EngineEmulated}, {"fast", scanner.EngineFast}} {
 		b.Run(eng.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				scanner.Run(w, scanner.Config{Week: 12, Engine: eng.e, Seed: int64(i), Workers: 4})
+				mustRun(w, scanner.Config{Week: 12, Engine: eng.e, Seed: int64(i), Workers: 4})
 			}
 			b.ReportMetric(float64(len(w.Domains)), "domains/op")
 		})
@@ -308,7 +308,7 @@ func spinAccuracyForBody(body int) float64 {
 	prof.QUICOrgs[0].DisableEveryN = 0
 	prof.LegacyOrgs = nil
 	w := websim.Generate(prof)
-	res := scanner.Run(w, scanner.Config{Week: 1, Engine: scanner.EngineEmulated, Seed: 5, Workers: 1})
+	res := mustRun(w, scanner.Config{Week: 1, Engine: scanner.EngineEmulated, Seed: 5, Workers: 1})
 	wk := analysis.Analyze(res)
 	var sum float64
 	n := 0
@@ -325,4 +325,14 @@ func spinAccuracyForBody(body int) float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// mustRun runs a scan, panicking on config errors (benchmark fixtures run
+// inside sync.Once, where no *testing.B is in scope).
+func mustRun(w *websim.World, cfg scanner.Config) *scanner.Result {
+	r, err := scanner.Run(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -31,6 +31,14 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
 	flag.Parse()
 
+	// Fail fast on flag values the probe loop would otherwise misread.
+	if *requests <= 0 {
+		log.Fatalf("spinprobe: -requests must be > 0, got %d", *requests)
+	}
+	if *timeout <= 0 {
+		log.Fatalf("spinprobe: -timeout must be > 0, got %v", *timeout)
+	}
+
 	raddr, err := net.ResolveUDPAddr("udp", *target)
 	if err != nil {
 		log.Fatalf("resolve: %v", err)

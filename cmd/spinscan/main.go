@@ -17,10 +17,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/asdb"
 	"quicspin/internal/scanner"
+	"quicspin/internal/telemetry"
 	"quicspin/internal/websim"
 )
 
@@ -32,9 +35,13 @@ func main() {
 	ipv6 := flag.Bool("ipv6", false, "scan AAAA targets (Table 4 view)")
 	engine := flag.String("engine", "emulated", "scan engine: emulated or fast")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-connection virtual timeout (0 = 6s default)")
+	maxRedirects := flag.Int("max-redirects", 0, "redirect-follow bound (0 = default of 3)")
 	qlogDir := flag.String("qlog-dir", "", "write per-connection qlog traces to this directory")
 	asdbOut := flag.String("asdb-out", "", "write the world's prefix→ASN→org snapshot here (for spinalyze -asdb)")
 	summary := flag.Bool("summary", true, "print adoption tables after scanning")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
+	progressEvery := flag.Duration("progress", 5*time.Second, "progress report interval (0 disables)")
 	flag.Parse()
 
 	eng := scanner.EngineEmulated
@@ -44,6 +51,32 @@ func main() {
 		eng = scanner.EngineFast
 	default:
 		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	reg := telemetry.New()
+
+	first, last := *week, *week
+	if *weeks > 0 {
+		first, last = 1, *weeks
+	}
+	// Validate the flag-derived config once, before any scanning: Run
+	// would reject it anyway, but failing before world generation is
+	// friendlier.
+	baseCfg := scanner.Config{
+		Week: first, IPv6: *ipv6, Engine: eng, Workers: *workers,
+		Timeout: *timeout, MaxRedirects: *maxRedirects, Telemetry: reg,
+	}
+	if err := baseCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug-addr: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoint on http://%s (/metrics, /snapshot, /debug/pprof/)", dbg.Addr())
 	}
 
 	prof := websim.DefaultProfile()
@@ -66,16 +99,23 @@ func main() {
 		log.Printf("wrote asdb snapshot to %s", *asdbOut)
 	}
 
-	first, last := *week, *week
-	if *weeks > 0 {
-		first, last = 1, *weeks
+	nw := *workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
 	}
+	reg.Gauge("spinscan_workers_total").Set(int64(nw))
+
+	stopProgress := startProgress(reg, *progressEvery, log.Printf)
 	var analyzed []*analysis.Week
 	for wk := first; wk <= last; wk++ {
 		log.Printf("scanning week %d (%s, ipv6=%v)...", wk, *engine, *ipv6)
-		res := scanner.Run(world, scanner.Config{
-			Week: wk, IPv6: *ipv6, Engine: eng, Seed: prof.Seed + int64(wk), Workers: *workers,
-		})
+		cfg := baseCfg
+		cfg.Week = wk
+		cfg.Seed = prof.Seed + int64(wk)
+		res, err := scanner.Run(world, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *qlogDir != "" {
 			if err := writeQlogs(res, *qlogDir); err != nil {
 				log.Fatalf("writing qlogs: %v", err)
@@ -83,6 +123,7 @@ func main() {
 		}
 		analyzed = append(analyzed, analysis.Analyze(res))
 	}
+	stopProgress()
 
 	if !*summary {
 		return

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"quicspin/internal/scanner"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/websim"
+)
+
+// TestDebugEndpointServesScanMetrics is the -debug-addr acceptance test:
+// it runs a small instrumented campaign with the debug server on an
+// ephemeral port (the moral equivalent of `spinscan -debug-addr :0`) and
+// scrapes /metrics, /snapshot and /debug/pprof/.
+func TestDebugEndpointServesScanMetrics(t *testing.T) {
+	reg := telemetry.New()
+	dbg, err := telemetry.StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	prof := websim.DefaultProfile()
+	prof.Scale = 300_000
+	world := websim.Generate(prof)
+	if _, err := scanner.Run(world, scanner.Config{
+		Week: 1, Engine: scanner.EngineFast, Seed: 7, Workers: 2, Telemetry: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE spinscan_domains_total counter",
+		"spinscan_conns_attempted_total",
+		"spinscan_conns_succeeded_total",
+		`spinscan_stage_seconds_bucket{stage="total",le="+Inf"}`,
+		"dns_queries_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(get("/snapshot")), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Counters["spinscan_domains_total"] != int64(len(world.Domains)) {
+		t.Errorf("snapshot domains = %d, want %d",
+			snap.Counters["spinscan_domains_total"], len(world.Domains))
+	}
+
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index not served")
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	reg := telemetry.New()
+	reg.Gauge("spinscan_week").Set(3)
+	reg.Gauge("spinscan_workers_active").Set(7)
+	reg.Gauge("spinscan_workers_total").Set(8)
+	reg.Gauge("spinscan_domains_population").Set(2_000_000)
+	reg.Counter("spinscan_domains_total").Add(1_200_000)
+	reg.Counter("spinscan_conns_attempted_total").Add(82_000)
+	reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", "timeout")).Add(312)
+	reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", "reset")).Add(51)
+	reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", "h3")).Add(0)
+
+	prev := telemetry.Snapshot{Counters: map[string]int64{"spinscan_conns_attempted_total": 0}}
+	line := progressLine(reg.Snapshot(), prev, 2*time.Second)
+	want := "week=3 shard=7/8 domains=1.2M/2M conns/s=41k errs{timeout:312,reset:51}"
+	if line != want {
+		t.Errorf("progress line:\n got %q\nwant %q", line, want)
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[int64]string{0: "0", 812: "812", 1000: "1k", 41_234: "41.2k", 1_200_000: "1.2M", 2_000_000: "2M"}
+	for n, want := range cases {
+		if got := human(n); got != want {
+			t.Errorf("human(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestStartProgressEmitsAndStops(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("spinscan_conns_attempted_total").Add(10)
+	var lines []string
+	stop := startProgress(reg, 10*time.Millisecond, func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	if len(lines) == 0 {
+		t.Fatal("no progress lines emitted")
+	}
+	// Disabled reporter: stop must be a safe no-op.
+	startProgress(reg, 0, func(string, ...any) { t.Error("disabled reporter emitted") })()
+}

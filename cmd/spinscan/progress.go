@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"quicspin/internal/telemetry"
+)
+
+// startProgress launches the periodic campaign progress reporter: every
+// interval it diffs the telemetry snapshot and emits one live line via
+// printf, e.g.
+//
+//	week=3 shard=7/8 domains=1.2M/2.0M conns/s=41k errs{timeout:312,reset:51}
+//
+// The returned stop function prints one final line and stops the ticker.
+// A zero interval disables reporting (stop is then a no-op).
+func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(string, ...any)) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		prev := reg.Snapshot()
+		prevT := time.Now()
+		for {
+			select {
+			case <-done:
+				now := time.Now()
+				printf("%s", progressLine(reg.Snapshot(), prev, now.Sub(prevT)))
+				return
+			case <-tick.C:
+				cur := reg.Snapshot()
+				now := time.Now()
+				printf("%s", progressLine(cur, prev, now.Sub(prevT)))
+				prev, prevT = cur, now
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// progressLine renders one live campaign status line from the current
+// snapshot and the previous tick (for the conns/s rate).
+func progressLine(cur, prev telemetry.Snapshot, dt time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "week=%d", cur.Gauges["spinscan_week"])
+	fmt.Fprintf(&b, " shard=%d/%d", cur.Gauges["spinscan_workers_active"], cur.Gauges["spinscan_workers_total"])
+	fmt.Fprintf(&b, " domains=%s/%s",
+		human(cur.Counters["spinscan_domains_total"]),
+		human(cur.Gauges["spinscan_domains_population"]))
+
+	rate := 0.0
+	if dt > 0 {
+		delta := cur.Counters["spinscan_conns_attempted_total"] - prev.Counters["spinscan_conns_attempted_total"]
+		rate = float64(delta) / dt.Seconds()
+	}
+	fmt.Fprintf(&b, " conns/s=%s", human(int64(rate)))
+
+	if errs := errSummary(cur); errs != "" {
+		fmt.Fprintf(&b, " errs{%s}", errs)
+	}
+	return b.String()
+}
+
+// errSummary renders the non-zero connection error classes as
+// "timeout:312,reset:51", largest class first.
+func errSummary(s telemetry.Snapshot) string {
+	const prefix = `spinscan_conn_errors_total{class="`
+	type kv struct {
+		class string
+		n     int64
+	}
+	var errs []kv
+	for name, n := range s.Counters {
+		if n == 0 || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		class := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		errs = append(errs, kv{class, n})
+	}
+	sort.Slice(errs, func(i, j int) bool {
+		if errs[i].n != errs[j].n {
+			return errs[i].n > errs[j].n
+		}
+		return errs[i].class < errs[j].class
+	})
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = fmt.Sprintf("%s:%d", e.class, e.n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// human renders a count compactly: 812, 41k, 1.2M.
+func human(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return trimZero(fmt.Sprintf("%.1fM", float64(n)/1e6))
+	case n >= 1_000:
+		return trimZero(fmt.Sprintf("%.1fk", float64(n)/1e3))
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func trimZero(s string) string {
+	return strings.Replace(s, ".0", "", 1)
+}

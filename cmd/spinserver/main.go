@@ -40,6 +40,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Fail fast on flag values the serve loop would otherwise misread.
+	if *body < 0 {
+		log.Fatalf("spinserver: -body must be >= 0, got %d", *body)
+	}
+	if *disableEvery < 0 {
+		log.Fatalf("spinserver: -disable-every must be >= 0 (0 = never), got %d", *disableEvery)
+	}
 	pc, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

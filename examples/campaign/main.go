@@ -22,11 +22,12 @@ func main() {
 	fmt.Printf("  %d domains, %d server IPs, %d organisations\n\n",
 		len(world.Domains), len(world.Servers()), len(world.Orgs))
 
-	res := scanner.Run(world, scanner.Config{
+	res, err := scanner.Run(world, scanner.Config{
 		Week:   prof.Weeks,
 		Engine: scanner.EngineEmulated,
 		Seed:   1,
 	})
+	must(err)
 	wk := analysis.Analyze(res)
 
 	must(analysis.RenderOverview(wk).Render(os.Stdout))

@@ -27,9 +27,15 @@ func fixture(t *testing.T) (*websim.World, *Week, *Week) {
 		// per-org spin shares statistically meaningless.
 		fxWorld = websim.Generate(p)
 		week := p.Weeks // the paper's CW 20 snapshot is the campaign's end
-		r4 := scanner.Run(fxWorld, scanner.Config{Week: week, Engine: scanner.EngineEmulated, Seed: 99, Workers: 8})
+		r4, err4 := scanner.Run(fxWorld, scanner.Config{Week: week, Engine: scanner.EngineEmulated, Seed: 99, Workers: 8})
+		if err4 != nil {
+			panic(err4)
+		}
 		fxV4 = Analyze(r4)
-		r6 := scanner.Run(fxWorld, scanner.Config{Week: week, IPv6: true, Engine: scanner.EngineEmulated, Seed: 99, Workers: 8})
+		r6, err6 := scanner.Run(fxWorld, scanner.Config{Week: week, IPv6: true, Engine: scanner.EngineEmulated, Seed: 99, Workers: 8})
+		if err6 != nil {
+			panic(err6)
+		}
 		fxV6 = Analyze(r6)
 	})
 	return fxWorld, fxV4, fxV6

@@ -12,6 +12,8 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+
+	"quicspin/internal/telemetry"
 )
 
 // Common resolution errors.
@@ -77,6 +79,12 @@ type Resolver struct {
 	rng *rand.Rand
 
 	stats Stats
+	cache map[cacheKey]cacheEntry
+
+	tmQueries *telemetry.Counter
+	tmHits    *telemetry.Counter
+	tmMisses  *telemetry.Counter
+	tmErrs    map[string]*telemetry.Counter
 }
 
 // Stats counts resolver outcomes.
@@ -86,6 +94,23 @@ type Stats struct {
 	NXDomain int
 	Timeouts int
 	NoRecord int
+	// CacheHits counts lookups answered from the resolver cache (see
+	// EnableCache); they are also counted in Queries and the outcome
+	// fields, so attrition ratios stay meaningful.
+	CacheHits int
+}
+
+// cacheKey identifies one cached lookup.
+type cacheKey struct {
+	name string
+	t    RType
+}
+
+// cacheEntry memoises a lookup outcome. Injected timeouts are never
+// cached — they model transient auth failures.
+type cacheEntry struct {
+	addrs []netip.Addr
+	err   error
 }
 
 // NewResolver builds a resolver over backend; rng drives failure injection
@@ -99,19 +124,64 @@ func Normalize(name string) string {
 	return strings.ToLower(strings.TrimSuffix(name, "."))
 }
 
+// EnableCache turns on lookup memoisation: repeated queries for the same
+// (name, type) — redirect chains revisiting the same hosts — are answered
+// from memory. Injected timeouts are never cached. Campaign engines enable
+// this; telemetry exposes the hit/miss split.
+func (r *Resolver) EnableCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = map[cacheKey]cacheEntry{}
+	}
+}
+
+// SetTelemetry registers this resolver's counters (dns_queries_total,
+// dns_cache_{hits,misses}_total, dns_errors_total{class}) with reg. A nil
+// registry leaves the resolver uninstrumented (no-op counters).
+func (r *Resolver) SetTelemetry(reg *telemetry.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tmQueries = reg.Counter("dns_queries_total")
+	r.tmHits = reg.Counter("dns_cache_hits_total")
+	r.tmMisses = reg.Counter("dns_cache_misses_total")
+	r.tmErrs = map[string]*telemetry.Counter{
+		"nxdomain": reg.Counter(telemetry.Name("dns_errors_total", "class", "nxdomain")),
+		"timeout":  reg.Counter(telemetry.Name("dns_errors_total", "class", "timeout")),
+		"norecord": reg.Counter(telemetry.Name("dns_errors_total", "class", "norecord")),
+	}
+}
+
 // Lookup resolves name to addresses of the given type.
 func (r *Resolver) Lookup(name string, t RType) ([]netip.Addr, error) {
 	name = Normalize(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Queries++
+	r.tmQueries.Inc()
+	key := cacheKey{name, t}
+	if r.cache != nil {
+		if e, ok := r.cache[key]; ok {
+			r.stats.CacheHits++
+			r.tmHits.Inc()
+			return r.finishLocked(e.addrs, e.err)
+		}
+		r.tmMisses.Inc()
+	}
+	addrs, err := r.lookupLocked(name, t)
+	if r.cache != nil && !errors.Is(err, ErrTimeout) {
+		r.cache[key] = cacheEntry{addrs: addrs, err: err}
+	}
+	return r.finishLocked(addrs, err)
+}
+
+// lookupLocked performs the uncached resolution against the backend.
+func (r *Resolver) lookupLocked(name string, t RType) ([]netip.Addr, error) {
 	rec, ok := r.backend.Zone(name)
 	if !ok {
-		r.stats.NXDomain++
 		return nil, fmt.Errorf("%w: %s", ErrNXDomain, name)
 	}
 	if r.TimeoutRate > 0 && r.rng.Float64() < r.TimeoutRate {
-		r.stats.Timeouts++
 		return nil, fmt.Errorf("%w: %s %s", ErrTimeout, name, t)
 	}
 	var addrs []netip.Addr
@@ -122,13 +192,31 @@ func (r *Resolver) Lookup(name string, t RType) ([]netip.Addr, error) {
 		addrs = rec.AAAA
 	}
 	if len(addrs) == 0 {
-		r.stats.NoRecord++
 		return nil, fmt.Errorf("%w: %s %s", ErrNoRecord, name, t)
 	}
-	r.stats.Resolved++
-	out := make([]netip.Addr, len(addrs))
-	copy(out, addrs)
-	return out, nil
+	return addrs, nil
+}
+
+// finishLocked tallies a lookup outcome and returns a defensive copy of
+// the address list (cached entries must stay immutable).
+func (r *Resolver) finishLocked(addrs []netip.Addr, err error) ([]netip.Addr, error) {
+	switch {
+	case err == nil:
+		r.stats.Resolved++
+		out := make([]netip.Addr, len(addrs))
+		copy(out, addrs)
+		return out, nil
+	case errors.Is(err, ErrNXDomain):
+		r.stats.NXDomain++
+		r.tmErrs["nxdomain"].Inc()
+	case errors.Is(err, ErrTimeout):
+		r.stats.Timeouts++
+		r.tmErrs["timeout"].Inc()
+	case errors.Is(err, ErrNoRecord):
+		r.stats.NoRecord++
+		r.tmErrs["norecord"].Inc()
+	}
+	return nil, err
 }
 
 // Stats returns a snapshot of resolver counters.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"net/netip"
 	"testing"
+
+	"quicspin/internal/telemetry"
 )
 
 func backend() MapBackend {
@@ -87,5 +89,80 @@ func TestResultIsACopy(t *testing.T) {
 func TestRTypeString(t *testing.T) {
 	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" {
 		t.Error("RType names wrong")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	reg := telemetry.New()
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	r.EnableCache()
+	r.SetTelemetry(reg)
+
+	for i := 0; i < 3; i++ {
+		if _, err := r.Lookup("www.example.com", TypeA); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	// Negative outcomes are cached too.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Lookup("nope.example.com", TypeA); !errors.Is(err, ErrNXDomain) {
+			t.Fatalf("nxdomain lookup %d: %v", i, err)
+		}
+	}
+
+	st := r.Stats()
+	if st.Queries != 5 || st.CacheHits != 3 {
+		t.Errorf("stats = %+v, want Queries 5, CacheHits 3", st)
+	}
+	if st.Resolved != 3 || st.NXDomain != 2 {
+		t.Errorf("outcomes replayed wrong: %+v", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dns_queries_total"] != 5 {
+		t.Errorf("dns_queries_total = %d, want 5", snap.Counters["dns_queries_total"])
+	}
+	if snap.Counters["dns_cache_hits_total"] != 3 {
+		t.Errorf("dns_cache_hits_total = %d, want 3", snap.Counters["dns_cache_hits_total"])
+	}
+	if snap.Counters["dns_cache_misses_total"] != 2 {
+		t.Errorf("dns_cache_misses_total = %d, want 2", snap.Counters["dns_cache_misses_total"])
+	}
+	if got := snap.Counters[`dns_errors_total{class="nxdomain"}`]; got != 2 {
+		t.Errorf("nxdomain errors = %d, want 2", got)
+	}
+}
+
+func TestCacheDoesNotRetainTimeouts(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(3)))
+	r.EnableCache()
+	// Phase 1: every query times out. If timeouts were cached, the error
+	// would stick for good.
+	r.TimeoutRate = 1
+	for i := 0; i < 3; i++ {
+		if _, err := r.Lookup("www.example.com", TypeA); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("lookup %d: want timeout, got %v", i, err)
+		}
+	}
+	// Phase 2: the auth recovers; the name must resolve (nothing cached).
+	r.TimeoutRate = 0
+	if _, err := r.Lookup("www.example.com", TypeA); err != nil {
+		t.Fatalf("timeout was cached: %v", err)
+	}
+	// Phase 3: successes ARE cached, so renewed auth flakiness is
+	// invisible for known names.
+	r.TimeoutRate = 1
+	if _, err := r.Lookup("www.example.com", TypeA); err != nil {
+		t.Fatalf("cached success not served: %v", err)
+	}
+}
+
+func TestCachedResultIsACopy(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	r.EnableCache()
+	a1, _ := r.Lookup("www.example.com", TypeA)
+	a1[0] = netip.MustParseAddr("198.51.100.99") // clobber the returned slice
+	a2, err := r.Lookup("www.example.com", TypeA)
+	if err != nil || a2[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Fatalf("cache entry was mutated through a returned slice: (%v, %v)", a2, err)
 	}
 }

@@ -204,11 +204,17 @@ func (w *Writer) MetricsUpdated(at time.Time, m MetricsEvent) error {
 }
 
 // Close flushes buffered records. The Writer must not be used afterwards.
+// A flush failure is retained, so Err() reports it consistently — callers
+// that check either Close's return or Err() (but not both) see the same
+// error.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
 }
 
 // Err returns the first error encountered while writing.

@@ -220,3 +220,41 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+// shortWriter accepts at most n bytes of each Write and then reports
+// io.ErrShortWrite, like a filesystem running out of space mid-flush.
+type shortWriter struct{ n int }
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if len(p) <= s.n {
+		s.n -= len(p)
+		return len(p), nil
+	}
+	n := s.n
+	s.n = 0
+	return n, io.ErrShortWrite
+}
+
+// TestCloseSurfacesShortWrite pins the Close/Err contract: a write error
+// that only materialises at flush time must be returned by Close AND
+// retained by Err(), so callers checking either see it.
+func TestCloseSurfacesShortWrite(t *testing.T) {
+	w, err := NewWriter(&shortWriter{n: 16}, TraceHeader{VantagePoint: "client", ReferenceTime: ref}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The event fits in the bufio buffer, so nothing fails yet.
+	if err := w.PacketSent(ref, PacketHeader{PacketType: "1RTT", PacketNumber: 1}, 1200); err != nil {
+		t.Fatalf("buffered event write failed early: %v", err)
+	}
+	cerr := w.Close()
+	if cerr == nil {
+		t.Fatal("Close() dropped the flush error")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() did not retain the flush error")
+	}
+	if w.Err() != cerr {
+		t.Errorf("Err() = %v, Close() = %v; want identical", w.Err(), cerr)
+	}
+}

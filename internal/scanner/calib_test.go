@@ -21,7 +21,7 @@ func TestCalibrationReport(t *testing.T) {
 	}
 	w := websim.Generate(p)
 	for _, ipv6 := range []bool{false, true} {
-		r := Run(w, Config{Week: 12, IPv6: ipv6, Engine: EngineEmulated, Seed: 2, Workers: 8})
+		r := mustRun(t, w, Config{Week: 12, IPv6: ipv6, Engine: EngineEmulated, Seed: 2, Workers: 8})
 		type agg struct{ dom, res, quic, spin int }
 		views := map[string]*agg{"top": {}, "zone": {}}
 		orgTot := map[string]int{}

@@ -22,6 +22,7 @@ type emulatedEngine struct {
 	world *websim.World
 	cfg   Config
 	rng   *rand.Rand
+	tm    *scanTelemetry
 
 	loop      *sim.Loop
 	net       *netem.Network
@@ -36,17 +37,21 @@ type serverSite struct {
 	srv  *websim.Server
 }
 
-func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand) *emulatedEngine {
+func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *emulatedEngine {
 	loop := sim.NewLoop(campaignStart(cfg.Week))
 	e := &emulatedEngine{
 		world:    w,
 		cfg:      cfg,
 		rng:      rng,
+		tm:       tm,
 		loop:     loop,
 		net:      netem.New(loop, netem.PathConfig{Delay: 10 * time.Millisecond}, rng),
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
 		servers:  map[netip.Addr]*serverSite{},
 	}
+	e.net.SetTelemetry(cfg.Telemetry)
+	e.resolver.EnableCache()
+	e.resolver.SetTelemetry(cfg.Telemetry)
 	return e
 }
 
@@ -99,7 +104,8 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResu
 		e.net.SetSymmetricPath(clientAddr, serverAddr, path)
 	}
 
-	conn := transport.NewClientConn(transport.Config{Rng: e.rng}, e.loop.Now())
+	start := e.loop.Now()
+	conn := transport.NewClientConn(transport.Config{Rng: e.rng}, start)
 	client := netem.NewClientHost(e.net, clientAddr, serverAddr, conn)
 	client.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
 	hc := h3.NewClientConn(conn)
@@ -113,9 +119,13 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResu
 	}
 
 	done := false
+	var hsAt time.Time // virtual handshake-completion instant (stage span)
 	var resp *h3.Response
 	var respErr error
 	client.OnActivity = func(c *transport.Conn, now time.Time) {
+		if hsAt.IsZero() && c.HandshakeComplete() {
+			hsAt = now
+		}
 		if done {
 			return
 		}
@@ -136,6 +146,11 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResu
 	}
 
 	now := e.loop.Now()
+	e.tm.stTotal.Start(start).End(now)
+	if !hsAt.IsZero() {
+		e.tm.stHandshake.Start(start).End(hsAt)
+		e.tm.stRequest.Start(hsAt).End(now)
+	}
 	out.QUIC = conn.HandshakeComplete()
 	obs := conn.Observations()
 	for _, o := range obs {

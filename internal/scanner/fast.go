@@ -20,18 +20,23 @@ type fastEngine struct {
 	world    *websim.World
 	cfg      Config
 	rng      *rand.Rand
+	tm       *scanTelemetry
 	resolver *dns.Resolver
 	now      time.Time
 }
 
-func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand) *fastEngine {
-	return &fastEngine{
+func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *fastEngine {
+	e := &fastEngine{
 		world:    w,
 		cfg:      cfg,
 		rng:      rng,
+		tm:       tm,
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
 		now:      campaignStart(cfg.Week),
 	}
+	e.resolver.EnableCache()
+	e.resolver.SetTelemetry(cfg.Telemetry)
+	return e
 }
 
 func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
@@ -76,6 +81,9 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
 	srv := e.world.ServerAt(ip)
 	if srv == nil || !srv.QUIC {
 		out.Err = "timeout: no QUIC handshake"
+		// Model the emulated engine's stage timing: a blackholed target
+		// burns the full virtual timeout.
+		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
 		return out
 	}
 	out.QUIC = true
@@ -105,7 +113,15 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
 	// Spin series synthesis: the connection-level spin policy dice are
 	// rolled exactly like the transport does (1-in-N disable included).
 	ctrl := core.NewController(false, srv.PolicyForWeek(e.cfg.Week), e.rng)
-	e.synthesizeObservations(&out, ctrl.EffectiveMode(), srv, rtt, respBytes)
+	lastAt := e.synthesizeObservations(&out, ctrl.EffectiveMode(), srv, rtt, respBytes)
+
+	// Stage spans mirroring the emulated engine's virtual timeline:
+	// handshake completes at ~1.5 RTT, the request phase runs until the
+	// last received packet.
+	hsAt := e.now.Add(3 * rtt / 2)
+	e.tm.stHandshake.Start(e.now).End(hsAt)
+	e.tm.stRequest.Start(hsAt).End(hsAt.Add(lastAt))
+	e.tm.stTotal.Start(e.now).End(hsAt.Add(lastAt))
 	return out
 }
 
@@ -120,8 +136,10 @@ func (e *fastEngine) pathRTT(srv *websim.Server) time.Duration {
 
 // synthesizeObservations emulates the received 1-RTT packet series of the
 // client: HANDSHAKE_DONE + response bursts, with the spin value evolving
-// as the server reflects the client's wave.
-func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv *websim.Server, rtt time.Duration, respBytes int) {
+// as the server reflects the client's wave. It returns the arrival time of
+// the last packet relative to handshake completion (the request stage
+// duration).
+func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv *websim.Server, rtt time.Duration, respBytes int) time.Duration {
 	plan := srv.ResponsePlan(e.rng, respBytes)
 	// Receive times of server packets, relative to handshake completion.
 	var times []time.Duration
@@ -154,7 +172,11 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 	lastFlip := -rtt
 	base := campaignStart(e.cfg.Week).Add(3 * rtt / 2) // handshake done at ~1.5 RTT
 	var pn uint64
+	var lastAt time.Duration
 	for _, at := range times {
+		if at > lastAt {
+			lastAt = at
+		}
 		if mode == core.ModeSpin && at >= lastFlip+rtt && at > 0 {
 			spin = !spin
 			lastFlip = at
@@ -182,6 +204,7 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 	if !out.HasFlips() && !e.cfg.KeepAllObservations {
 		out.Observations = nil
 	}
+	return lastAt
 }
 
 func jittered(rng *rand.Rand, d time.Duration, frac float64) time.Duration {

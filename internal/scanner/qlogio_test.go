@@ -16,7 +16,7 @@ func TestQlogRoundTrip(t *testing.T) {
 	p := websim.DefaultProfile()
 	p.Scale = 200_000
 	w := websim.Generate(p)
-	res := Run(w, Config{Week: 3, Engine: EngineFast, Seed: 4, Workers: 2})
+	res := mustRun(t, w, Config{Week: 3, Engine: EngineFast, Seed: 4, Workers: 2})
 
 	// Serialise everything, then reassemble and compare per-connection
 	// fields.
@@ -113,7 +113,7 @@ func TestQlogClassificationSurvives(t *testing.T) {
 	p := websim.DefaultProfile()
 	p.Scale = 100_000
 	w := websim.Generate(p)
-	res := Run(w, Config{Week: 12, Engine: EngineEmulated, Seed: 8, Workers: 2})
+	res := mustRun(t, w, Config{Week: 12, Engine: EngineEmulated, Seed: 8, Workers: 2})
 	var d *DomainResult
 	var idx int
 	for i := range res.Domains {

@@ -18,6 +18,7 @@
 package scanner
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"runtime"
@@ -26,6 +27,7 @@ import (
 
 	"quicspin/internal/core"
 	"quicspin/internal/dns"
+	"quicspin/internal/telemetry"
 	"quicspin/internal/websim"
 )
 
@@ -61,6 +63,33 @@ type Config struct {
 	// KeepAllObservations retains spin observation series even for
 	// connections without flips (memory-hungry; useful for debugging).
 	KeepAllObservations bool
+	// Telemetry receives campaign metrics (counters, error classes,
+	// per-stage virtual-time histograms). Nil disables instrumentation at
+	// near-zero cost on the hot path.
+	Telemetry *telemetry.Registry
+}
+
+// Validate reports descriptive errors for config values that zero-default
+// helpers would otherwise silently misread (negative Workers, MaxRedirects,
+// Timeout, …). Run rejects invalid configs; cmd entry points call it to
+// fail fast on bad flags.
+func (c Config) Validate() error {
+	if c.Week < 0 {
+		return fmt.Errorf("scanner: Week must be >= 0 (1-based campaign week), got %d", c.Week)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("scanner: Workers must be >= 0 (0 means GOMAXPROCS), got %d", c.Workers)
+	}
+	if c.MaxRedirects < 0 {
+		return fmt.Errorf("scanner: MaxRedirects must be >= 0 (0 means the default of 3), got %d", c.MaxRedirects)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("scanner: Timeout must be >= 0 (0 means the default of 6s), got %v", c.Timeout)
+	}
+	if c.Engine != EngineEmulated && c.Engine != EngineFast {
+		return fmt.Errorf("scanner: unknown Engine %d (want EngineEmulated or EngineFast)", c.Engine)
+	}
+	return nil
 }
 
 func (c Config) timeout() time.Duration {
@@ -182,32 +211,45 @@ type Result struct {
 }
 
 // Run executes a measurement of every domain in the world's population.
-func Run(w *websim.World, cfg Config) *Result {
+// It returns an error only for invalid configs (see Config.Validate).
+func Run(w *websim.World, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	domains := w.Domains
 	nw := cfg.workers()
 	if nw > len(domains) {
 		nw = 1
 	}
+	tm := newScanTelemetry(cfg.Telemetry)
+	tm.week.Set(int64(cfg.Week))
+	// The domain counter is cumulative across runs sharing a registry (a
+	// multi-week campaign), so the population denominator accumulates too:
+	// the progress ratio stays ≤ 1 for the campaign as a whole.
+	tm.population.Add(int64(len(domains)))
 	out := &Result{Week: cfg.Week, IPv6: cfg.IPv6, Domains: make([]DomainResult, len(domains))}
 	var wg sync.WaitGroup
 	for shard := 0; shard < nw; shard++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			tm.workersActive.Add(1)
+			defer tm.workersActive.Add(-1)
 			rng := newEngineRng(cfg, shard)
 			var eng engine
 			if cfg.Engine == EngineFast {
-				eng = newFastEngine(w, cfg, rng)
+				eng = newFastEngine(w, cfg, rng, tm)
 			} else {
-				eng = newEmulatedEngine(w, cfg, rng)
+				eng = newEmulatedEngine(w, cfg, rng, tm)
 			}
 			for i := shard; i < len(domains); i += nw {
 				out.Domains[i] = eng.scanDomain(domains[i])
+				tm.recordDomain(&out.Domains[i])
 			}
 		}(shard)
 	}
 	wg.Wait()
-	return out
+	return out, nil
 }
 
 // newEngineRng derives a worker shard's random stream from the run seed.

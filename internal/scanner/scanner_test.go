@@ -56,7 +56,7 @@ func tallyResult(r *Result) tally {
 
 func TestEmulatedScanSmall(t *testing.T) {
 	w := testWorld(100_000) // ~27 toplist + ~2165 zone domains
-	r := Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 42, Workers: 4})
+	r := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 42, Workers: 4})
 	ty := tallyResult(r)
 	if ty.domains != len(w.Domains) {
 		t.Fatalf("domains scanned = %d, want %d", ty.domains, len(w.Domains))
@@ -85,7 +85,7 @@ func TestEmulatedScanSmall(t *testing.T) {
 
 func TestEmulatedSpinServersProduceFlips(t *testing.T) {
 	w := testWorld(100_000)
-	r := Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 7, Workers: 2})
+	r := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 7, Workers: 2})
 	// For every spin-flip connection, the server's ground truth must be a
 	// flipping mode (spin or grease) — zero/one servers must never flip.
 	for i := range r.Domains {
@@ -108,7 +108,7 @@ func TestEmulatedSpinServersProduceFlips(t *testing.T) {
 
 func TestEmulatedSpinRTTSamples(t *testing.T) {
 	w := testWorld(50_000)
-	r := Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 3, Workers: 4})
+	r := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 3, Workers: 4})
 	samples := 0
 	accurate := 0
 	for i := range r.Domains {
@@ -137,8 +137,8 @@ func TestEmulatedSpinRTTSamples(t *testing.T) {
 
 func TestScanDeterminism(t *testing.T) {
 	w := testWorld(200_000)
-	a := Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
-	b := Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
+	a := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
+	b := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
 	if len(a.Domains) != len(b.Domains) {
 		t.Fatal("result sizes differ")
 	}
@@ -152,7 +152,7 @@ func TestScanDeterminism(t *testing.T) {
 
 func TestFastScanSmall(t *testing.T) {
 	w := testWorld(100_000)
-	r := Run(w, Config{Week: 1, Engine: EngineFast, Seed: 42, Workers: 4})
+	r := mustRun(t, w, Config{Week: 1, Engine: EngineFast, Seed: 42, Workers: 4})
 	ty := tallyResult(r)
 	if ty.resolved == 0 || ty.quic == 0 || ty.spin == 0 {
 		t.Fatalf("vacuous fast scan: %+v", ty)
@@ -166,8 +166,8 @@ func TestFastScanSmall(t *testing.T) {
 // the aggregate rates the tables report.
 func TestEnginesAgree(t *testing.T) {
 	w := testWorld(40_000) // ~5.4k zone domains
-	em := tallyResult(Run(w, Config{Week: 1, Engine: EngineEmulated, Seed: 11, Workers: 4}))
-	fa := tallyResult(Run(w, Config{Week: 1, Engine: EngineFast, Seed: 11, Workers: 4}))
+	em := tallyResult(mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 11, Workers: 4}))
+	fa := tallyResult(mustRun(t, w, Config{Week: 1, Engine: EngineFast, Seed: 11, Workers: 4}))
 
 	rate := func(ty tally, num, den int) float64 {
 		if den == 0 {
@@ -195,8 +195,8 @@ func TestWeekChangesSpinDeployment(t *testing.T) {
 	// Servers with windowed deployments must show different spin activity
 	// across weeks; stable servers must not.
 	w := testWorld(50_000)
-	r1 := Run(w, Config{Week: 1, Engine: EngineFast, Seed: 9, Workers: 2})
-	r12 := Run(w, Config{Week: 12, Engine: EngineFast, Seed: 9, Workers: 2})
+	r1 := mustRun(t, w, Config{Week: 1, Engine: EngineFast, Seed: 9, Workers: 2})
+	r12 := mustRun(t, w, Config{Week: 12, Engine: EngineFast, Seed: 9, Workers: 2})
 	diff := 0
 	for i := range r1.Domains {
 		if r1.Domains[i].SpinActivity() != r12.Domains[i].SpinActivity() {
@@ -253,7 +253,7 @@ func BenchmarkEmulatedScanPerDomain(b *testing.B) {
 	w := testWorld(100_000)
 	cfg := Config{Week: 1, Engine: EngineEmulated, Seed: 1, Workers: 1}
 	rng := newEngineRng(cfg, 0)
-	eng := newEmulatedEngine(w, cfg, rng)
+	eng := newEmulatedEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.scanDomain(w.Domains[i%len(w.Domains)])
@@ -264,9 +264,19 @@ func BenchmarkFastScanPerDomain(b *testing.B) {
 	w := testWorld(100_000)
 	cfg := Config{Week: 1, Engine: EngineFast, Seed: 1, Workers: 1}
 	rng := newEngineRng(cfg, 0)
-	eng := newFastEngine(w, cfg, rng)
+	eng := newFastEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.scanDomain(w.Domains[i%len(w.Domains)])
 	}
+}
+
+// mustRun runs a scan, failing the test on config errors.
+func mustRun(t testing.TB, w *websim.World, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }

@@ -1,0 +1,115 @@
+package scanner
+
+import (
+	"strings"
+
+	"quicspin/internal/telemetry"
+)
+
+// Campaign metric names (Prometheus families; see README "Observability").
+//
+//	spinscan_domains_total              domains scanned
+//	spinscan_domains_resolved_total     domains with DNS success
+//	spinscan_conns_attempted_total      connection attempts (incl. redirects)
+//	spinscan_conns_succeeded_total      completed QUIC handshakes
+//	spinscan_conn_errors_total{class}   failed connections by error class
+//	spinscan_redirects_followed_total   redirect hops followed
+//	spinscan_spin_flip_conns_total      connections with spin flips
+//	spinscan_redirect_depth             histogram of per-domain chain depth
+//	spinscan_stage_seconds{stage}       virtual-time stage histograms
+//	spinscan_workers_active             worker shards currently scanning
+//	spinscan_week                       campaign week being scanned
+//	spinscan_domains_population         domains queued across runs so far
+//
+// Connection error classes.
+const (
+	errClassDNS     = "dns"
+	errClassTimeout = "timeout"
+	errClassReset   = "reset"
+	errClassH3      = "h3"
+	errClassOther   = "other"
+)
+
+var errClasses = []string{errClassDNS, errClassTimeout, errClassReset, errClassH3, errClassOther}
+
+// errClass buckets a ConnResult.Err string for the error-class counters.
+func errClass(s string) string {
+	switch {
+	case strings.HasPrefix(s, "timeout"):
+		return errClassTimeout
+	case strings.Contains(s, "reset") || strings.Contains(s, "closed"):
+		return errClassReset
+	case strings.Contains(s, "h3"):
+		return errClassH3
+	default:
+		return errClassOther
+	}
+}
+
+// scanTelemetry holds the pre-resolved instruments of one campaign run.
+// Built from a nil registry it is a complete no-op (every instrument nil),
+// which keeps the fast engine's hot path within the <2% overhead budget
+// when telemetry is disabled.
+type scanTelemetry struct {
+	domains, resolved               *telemetry.Counter
+	connsAttempted, connsSucceeded  *telemetry.Counter
+	redirectsFollowed, flipConns    *telemetry.Counter
+	errs                            map[string]*telemetry.Counter
+	redirectDepth                   *telemetry.Histogram
+	stHandshake, stRequest, stTotal *telemetry.Stage
+	workersActive                   *telemetry.Gauge
+	week, population                *telemetry.Gauge
+}
+
+func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
+	t := &scanTelemetry{
+		domains:           reg.Counter("spinscan_domains_total"),
+		resolved:          reg.Counter("spinscan_domains_resolved_total"),
+		connsAttempted:    reg.Counter("spinscan_conns_attempted_total"),
+		connsSucceeded:    reg.Counter("spinscan_conns_succeeded_total"),
+		redirectsFollowed: reg.Counter("spinscan_redirects_followed_total"),
+		flipConns:         reg.Counter("spinscan_spin_flip_conns_total"),
+		redirectDepth:     reg.Histogram("spinscan_redirect_depth", telemetry.DepthBuckets),
+		stHandshake:       reg.Stage("spinscan_stage_seconds", "handshake", telemetry.DurationBuckets),
+		stRequest:         reg.Stage("spinscan_stage_seconds", "request", telemetry.DurationBuckets),
+		stTotal:           reg.Stage("spinscan_stage_seconds", "total", telemetry.DurationBuckets),
+		workersActive:     reg.Gauge("spinscan_workers_active"),
+		week:              reg.Gauge("spinscan_week"),
+		population:        reg.Gauge("spinscan_domains_population"),
+		errs:              map[string]*telemetry.Counter{},
+	}
+	for _, class := range errClasses {
+		t.errs[class] = reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", class))
+	}
+	return t
+}
+
+// recordDomain tallies one finished domain scan (and its connections).
+func (t *scanTelemetry) recordDomain(d *DomainResult) {
+	t.domains.Inc()
+	switch {
+	case d.Resolved:
+		t.resolved.Inc()
+	case d.DNSErr != "":
+		t.errs[errClassDNS].Inc()
+	}
+	if len(d.Conns) > 0 {
+		t.redirectDepth.Observe(float64(len(d.Conns) - 1))
+	}
+	for i := range d.Conns {
+		c := &d.Conns[i]
+		t.connsAttempted.Inc()
+		if c.QUIC {
+			t.connsSucceeded.Inc()
+		}
+		if c.HasFlips() {
+			t.flipConns.Inc()
+		}
+		if c.Hop > 0 {
+			t.redirectsFollowed.Inc()
+		}
+		if c.Err != "" {
+			t.errs[errClass(c.Err)].Inc()
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("http_test_total").Add(9)
+	r.Histogram("http_test_seconds", []float64{0.1, 1}).Observe(0.5)
+
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE http_test_total counter",
+		"http_test_total 9",
+		`http_test_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	snapBody, ctype := get("/snapshot")
+	if ctype != "application/json" {
+		t.Errorf("/snapshot content type = %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(snapBody), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Counters["http_test_total"] != 9 {
+		t.Errorf("snapshot counter = %d, want 9", snap.Counters["http_test_total"])
+	}
+
+	if idx, _ := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Error("/debug/pprof/ index lacks profile links")
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4): one `# TYPE` line per metric
+// family, series sorted by name, histograms expanded into cumulative
+// `_bucket`/`_sum`/`_count` series with the conventional `le` label. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+
+	type series struct {
+		full string // full series name incl. labels
+		line func(io.Writer) error
+	}
+	families := map[string]string{} // base name → type
+	var all []series
+
+	for name, v := range snap.Counters {
+		base, _ := splitName(name)
+		families[base] = "counter"
+		name, v := name, v
+		all = append(all, series{name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		}})
+	}
+	for name, v := range snap.Gauges {
+		base, _ := splitName(name)
+		families[base] = "gauge"
+		name, v := name, v
+		all = append(all, series{name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		}})
+	}
+	for name, h := range snap.Histograms {
+		base, _ := splitName(name)
+		families[base] = "histogram"
+		name, h := name, h
+		all = append(all, series{name, func(w io.Writer) error {
+			return writeHistogram(w, name, h)
+		}})
+	}
+
+	// Group series by base family, emit families and their series in
+	// lexicographic order.
+	sort.Slice(all, func(i, j int) bool { return all[i].full < all[j].full })
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, families[base]); err != nil {
+			return err
+		}
+		for _, s := range all {
+			if b, _ := splitName(s.full); b != base {
+				continue
+			}
+			if err := s.line(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram expands one histogram series into cumulative buckets.
+func writeHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	base, labels := splitName(name)
+	withLabels := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		le := `le="` + formatFloat(b) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabels(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabels(`le="+Inf"`), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, withLabels(""), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, withLabels(""), h.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// decimal form, no exponent for typical bucket bounds.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// FormatFloat 'g' may pick exponent form for small bounds (5e-05);
+	// keep it — Prometheus parsers accept it.
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+// Snapshot is a JSON-serialisable point-in-time copy of every metric in a
+// registry, keyed by full series name. It is what the /snapshot debug
+// endpoint serves and what the spinscan progress reporter diffs between
+// ticks.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current metric values. Writers are never blocked;
+// the copy is per-metric atomic but not a globally consistent cut. A nil
+// registry yields an empty (non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// CounterTotal sums every counter series whose base metric name matches
+// base exactly, across all label sets — e.g. the total error count over
+// every error class. Returns 0 on a nil registry.
+func (r *Registry) CounterTotal(base string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for name, c := range r.counts {
+		if b, _ := splitName(name); b == base {
+			total += c.Value()
+		}
+	}
+	return total
+}
