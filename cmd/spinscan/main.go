@@ -22,6 +22,7 @@ import (
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/asdb"
+	"quicspin/internal/conformance"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
 	"quicspin/internal/websim"
@@ -40,9 +41,16 @@ func main() {
 	qlogDir := flag.String("qlog-dir", "", "write per-connection qlog traces to this directory")
 	asdbOut := flag.String("asdb-out", "", "write the world's prefix→ASN→org snapshot here (for spinalyze -asdb)")
 	summary := flag.Bool("summary", true, "print adoption tables after scanning")
+	conform := flag.Bool("conformance", false, "run the engine differential + invariant conformance suite instead of scanning")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
 	progressEvery := flag.Duration("progress", 5*time.Second, "progress report interval (0 disables)")
 	flag.Parse()
+
+	// The scale is a population divisor; zero or negative values would
+	// send world generation into nonsense (or enormous) populations.
+	if *scale <= 0 {
+		log.Fatalf("-scale must be positive (got %d)", *scale)
+	}
 
 	eng := scanner.EngineEmulated
 	switch *engine {
@@ -99,6 +107,11 @@ func main() {
 		log.Printf("wrote asdb snapshot to %s", *asdbOut)
 	}
 
+	if *conform {
+		runConformance(world, prof.Seed, *week, *ipv6, *workers, *timeout, *maxRedirects)
+		return
+	}
+
 	nw := *workers
 	if nw == 0 {
 		nw = runtime.GOMAXPROCS(0)
@@ -153,6 +166,36 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(analysis.RenderAccuracy(analyzed, 4))
+}
+
+// runConformance cross-validates the two engines over the generated world
+// and runs the chaos-schedule invariant sweep, then exits non-zero if
+// either found a violation. The differential reuses the campaign loop's
+// seed derivation (world seed + week) so its findings correspond to a real
+// scan configuration.
+func runConformance(world *websim.World, worldSeed int64, week int, ipv6 bool, workers int, timeout time.Duration, maxRedirects int) {
+	log.Printf("running engine differential (week %d, ipv6=%v)...", week, ipv6)
+	rep, err := conformance.RunDiff(conformance.DiffConfig{
+		World:        world,
+		Week:         week,
+		IPv6:         ipv6,
+		Seed:         worldSeed + int64(week),
+		Workers:      workers,
+		Timeout:      timeout,
+		MaxRedirects: maxRedirects,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Summary())
+
+	log.Printf("running invariant chaos sweep...")
+	inv := conformance.CheckInvariants(conformance.DefaultChaosCases())
+	fmt.Println(inv.Summary())
+
+	if !rep.OK() || !inv.OK() {
+		os.Exit(1)
+	}
 }
 
 func writeQlogs(res *scanner.Result, dir string) error {

@@ -217,6 +217,52 @@ func TestRenderersProduceTables(t *testing.T) {
 	}
 }
 
+// TestTableDeterminism is the regression gate for worker-invariant
+// reproducibility: with a fixed seed, the rendered Table 1 and Table 3 must
+// be byte-identical for Workers ∈ {1, 4, 16}, for each engine kind.
+// Per-domain randomness is derived from (Seed, Week, domain), so sharding
+// must not leak into any reported number. The two engines are each
+// self-consistent but not byte-equal to each other: they consume their
+// per-domain random streams differently (dice order), which is exactly the
+// gap the conformance differential bounds instead.
+func TestTableDeterminism(t *testing.T) {
+	p := websim.DefaultProfile()
+	p.Scale = 50_000
+	w := websim.Generate(p)
+	render := func(eng scanner.Engine, workers int) (string, string) {
+		r, err := scanner.Run(w, scanner.Config{
+			Week: 3, Engine: eng, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wk := Analyze(r)
+		return RenderOverview(wk).String(), RenderSpinConfig(wk).String()
+	}
+	for _, eng := range []struct {
+		name string
+		kind scanner.Engine
+	}{{"fast", scanner.EngineFast}, {"emulated", scanner.EngineEmulated}} {
+		t.Run(eng.name, func(t *testing.T) {
+			refOverview, refConfig := render(eng.kind, 1)
+			if !strings.Contains(refOverview, "CZDS") || !strings.Contains(refConfig, "All Zero") {
+				t.Fatalf("reference tables look wrong:\n%s\n%s", refOverview, refConfig)
+			}
+			for _, workers := range []int{4, 16} {
+				gotOverview, gotConfig := render(eng.kind, workers)
+				if gotOverview != refOverview {
+					t.Errorf("Table 1 differs between Workers=1 and Workers=%d:\n--- 1 ---\n%s\n--- %d ---\n%s",
+						workers, refOverview, workers, gotOverview)
+				}
+				if gotConfig != refConfig {
+					t.Errorf("Table 3 differs between Workers=1 and Workers=%d:\n--- 1 ---\n%s\n--- %d ---\n%s",
+						workers, refConfig, workers, gotConfig)
+				}
+			}
+		})
+	}
+}
+
 func share(num, den int) float64 {
 	if den == 0 {
 		return 0

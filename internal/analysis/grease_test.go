@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"quicspin/internal/core"
+	"quicspin/internal/scanner"
+)
+
+// flipConn builds a connection whose received-order spin series produces
+// exactly the given RTT samples: the first edge sits one arbitrary gap
+// after the series start, and each sample is the spacing to the next edge.
+func flipConn(stackRTTs []time.Duration, samples ...time.Duration) *scanner.ConnResult {
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+	c := &scanner.ConnResult{QUIC: true, Status: 200, StackRTTs: stackRTTs}
+	spin := false
+	add := func(t time.Time) {
+		c.Observations = append(c.Observations, core.Observation{
+			T: t, PN: uint64(len(c.Observations)), Spin: spin,
+		})
+		if spin {
+			c.OnePkts++
+		} else {
+			c.ZeroPkts++
+		}
+	}
+	add(base) // pre-edge packet establishing the initial value
+	at := base.Add(5 * time.Millisecond)
+	spin = true
+	add(at) // first edge: no sample yet
+	for _, s := range samples {
+		at = at.Add(s)
+		spin = !spin
+		add(at) // each further edge completes one sample
+	}
+	return c
+}
+
+// TestGreaseGuardBand pins the 1 ms guard band of the §3.3 grease filter:
+// a spin estimate only marks the connection as greased when it undercuts
+// the stack's minimum RTT by more than the guard, so honest spin cycles
+// that tie with min_rtt — even exactly at the band edge — stay ClassSpin,
+// while genuine sub-millisecond per-packet greasing is caught.
+func TestGreaseGuardBand(t *testing.T) {
+	const stackMin = 10 * time.Millisecond
+	stack := []time.Duration{12 * time.Millisecond, stackMin, 11 * time.Millisecond}
+	cases := []struct {
+		name    string
+		conn    *scanner.ConnResult
+		want    Class
+		samples int
+	}{
+		{
+			name:    "sample equals stack minimum",
+			conn:    flipConn(stack, stackMin),
+			want:    ClassSpin,
+			samples: 1,
+		},
+		{
+			name: "exact tie with the guard band edge",
+			// stackMin − guard is NOT below the threshold: the filter only
+			// fires on samples strictly under stackMin − 1 ms.
+			conn:    flipConn(stack, stackMin-greaseGuard),
+			want:    ClassSpin,
+			samples: 1,
+		},
+		{
+			name:    "one nanosecond below the band",
+			conn:    flipConn(stack, stackMin-greaseGuard-time.Nanosecond),
+			want:    ClassGrease,
+			samples: 1,
+		},
+		{
+			name:    "one nanosecond above the band",
+			conn:    flipConn(stack, stackMin-greaseGuard+time.Nanosecond),
+			want:    ClassSpin,
+			samples: 1,
+		},
+		{
+			name: "genuine per-packet grease",
+			// Edges between back-to-back packets: samples orders of
+			// magnitude below min_rtt.
+			conn:    flipConn(stack, 50*time.Microsecond, 80*time.Microsecond, 40*time.Microsecond),
+			want:    ClassGrease,
+			samples: 3,
+		},
+		{
+			name: "honest samples hide one outlier",
+			// A single undercutting sample suffices; the honest majority
+			// does not rescue the connection.
+			conn:    flipConn(stack, stackMin, 11*time.Millisecond, 200*time.Microsecond),
+			want:    ClassGrease,
+			samples: 3,
+		},
+		{
+			name: "guard disabled at tiny stack minimum",
+			// stackMin == 1 ms is not > greaseGuard: the filter cannot
+			// distinguish greasing from timing noise and stays off, so even
+			// a sub-millisecond sample keeps the connection ClassSpin.
+			conn:    flipConn([]time.Duration{time.Millisecond}, 100*time.Microsecond),
+			want:    ClassSpin,
+			samples: 1,
+		},
+		{
+			name: "guard active just above the disable point",
+			// stackMin = 1.5 ms: samples below 0.5 ms trip the filter.
+			conn:    flipConn([]time.Duration{1500 * time.Microsecond}, 400*time.Microsecond),
+			want:    ClassGrease,
+			samples: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AnalyzeConn(tc.conn)
+			if len(got.SpinRTTsR) != tc.samples {
+				t.Fatalf("constructed series produced %d received-order samples, want %d (%v)",
+					len(got.SpinRTTsR), tc.samples, got.SpinRTTsR)
+			}
+			if got.Class != tc.want {
+				t.Errorf("class = %v, want %v (samples %v, stack min %v)",
+					got.Class, tc.want, got.SpinRTTsR, tc.conn.StackMin())
+			}
+		})
+	}
+}

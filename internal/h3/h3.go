@@ -66,6 +66,9 @@ func ParseRequest(data []byte) (*Request, error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%w: reading request line: %v", ErrMalformed, err)
+		}
 		return nil, fmt.Errorf("%w: empty request", ErrMalformed)
 	}
 	parts := strings.Fields(sc.Text())
@@ -106,6 +109,9 @@ func ParseResponse(data []byte) (*Response, error) {
 	sc := bufio.NewScanner(bytes.NewReader(head))
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%w: reading status line: %v", ErrMalformed, err)
+		}
 		return nil, fmt.Errorf("%w: empty response", ErrMalformed)
 	}
 	parts := strings.Fields(sc.Text())
@@ -118,16 +124,23 @@ func ParseResponse(data []byte) (*Response, error) {
 	}
 	resp := &Response{Status: status, Headers: map[string]string{}}
 	var clen = -1
+	var clenErr error
 	if err := readHeaders(sc, func(k, v string) {
 		if k == "content-length" {
-			if n, err := strconv.Atoi(v); err == nil {
-				clen = n
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				clenErr = fmt.Errorf("%w: content-length %q", ErrMalformed, v)
+				return
 			}
+			clen = n
 		} else {
 			resp.Headers[k] = v
 		}
 	}); err != nil {
 		return nil, err
+	}
+	if clenErr != nil {
+		return nil, clenErr
 	}
 	if clen >= 0 && clen != len(body) {
 		return nil, fmt.Errorf("%w: content-length %d, body %d", ErrMalformed, clen, len(body))
@@ -158,6 +171,11 @@ func readHeaders(sc *bufio.Scanner, set func(k, v string)) error {
 			return fmt.Errorf("%w: header line %q", ErrMalformed, line)
 		}
 		set(strings.ToLower(k), v)
+	}
+	// A scanner error (e.g. a header line exceeding the buffer limit) must
+	// surface as a parse failure, not as a silently truncated header set.
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%w: reading headers: %v", ErrMalformed, err)
 	}
 	return nil
 }

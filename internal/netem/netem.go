@@ -158,6 +158,12 @@ func (n *Network) Blackhole(addr string, on bool) {
 // SetTap installs an observer called at each successful delivery.
 func (n *Network) SetTap(t TapFunc) { n.tap = t }
 
+// SetRng replaces the random stream driving loss, jitter, reordering and
+// duplication decisions. Campaign engines reseed it at every domain so
+// path noise becomes a function of the scanned domain alone, independent
+// of scan order and worker sharding. rng must be non-nil.
+func (n *Network) SetRng(rng *rand.Rand) { n.rng = rng }
+
 // Stats returns cumulative datagram counters.
 func (n *Network) Stats() Stats { return n.stats }
 

@@ -1,0 +1,61 @@
+package qlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzQlogParse feeds arbitrary byte streams through Parse: it must return
+// a descriptive error on malformed input — never panic — and every
+// accepted trace must carry a version header and named events.
+func FuzzQlogParse(f *testing.F) {
+	// A well-formed two-event trace produced by the package's own Writer.
+	var valid bytes.Buffer
+	w, err := NewWriter(&valid, TraceHeader{
+		VantagePoint:  "client",
+		ReferenceTime: time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC),
+	}, true)
+	if err != nil {
+		f.Fatalf("seed writer: %v", err)
+	}
+	spin := true
+	ref := time.Date(2022, 4, 11, 0, 0, 0, 123, time.UTC)
+	if err := w.PacketReceived(ref, PacketHeader{PacketType: "1RTT", PacketNumber: 7, SpinBit: &spin}, 1200); err != nil {
+		f.Fatalf("seed event: %v", err)
+	}
+	if err := w.MetricsUpdated(ref, MetricsEvent{LatestRTTMs: 12.5}); err != nil {
+		f.Fatalf("seed event: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatalf("seed close: %v", err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"qlog_version":"0.4","vantage_point":"client","reference_time":"2022-04-11T00:00:00Z"}` + "\n"))
+	f.Add([]byte("{\"qlog_version\":\"0.4\"}\n{\"time\":1,\"name\":\"transport:packet_received\",\"data\":{}}\n"))
+	f.Add([]byte("{\"qlog_version\":\"0.4\"}\n{\"time\":1}\n"))  // unnamed event
+	f.Add([]byte("{\"qlog_version\":\"0.4\"}\nnull\n"))          // null event record
+	f.Add([]byte("\x1e{\"qlog_version\":\"0.4\"}\n\x1e[1,2]\n")) // RS-framed garbage event
+	f.Add([]byte("not json at all"))
+	f.Add([]byte("{}"))
+	f.Add([]byte{})
+	f.Add([]byte("{\"qlog_version\":\"0.4\"}\n{\"name\":\"" + strings.Repeat("x", 512) + "\"}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatal("non-nil trace returned alongside an error")
+			}
+			return
+		}
+		if tr.Header.QlogVersion == "" {
+			t.Fatal("accepted trace without qlog_version")
+		}
+		for i := range tr.Events {
+			if tr.Events[i].Name == "" {
+				t.Fatalf("accepted unnamed event %d", i)
+			}
+		}
+	})
+}

@@ -246,6 +246,9 @@ func Parse(r io.Reader) (*Trace, error) {
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return nil, fmt.Errorf("qlog: parse event %d: %w", len(tr.Events), err)
 		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("qlog: event %d lacks a name (record %q)", len(tr.Events), truncateForErr(line))
+		}
 		tr.Events = append(tr.Events, ev)
 	}
 	if err := sc.Err(); err != nil {
@@ -255,4 +258,13 @@ func Parse(r io.Reader) (*Trace, error) {
 		return nil, io.ErrUnexpectedEOF
 	}
 	return &tr, nil
+}
+
+// truncateForErr bounds the amount of a malformed record quoted in errors.
+func truncateForErr(line []byte) []byte {
+	const max = 64
+	if len(line) <= max {
+		return line
+	}
+	return line[:max]
 }

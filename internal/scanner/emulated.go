@@ -62,8 +62,13 @@ func campaignStart(week int) time.Time {
 }
 
 func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
+	// Reseed every random stream the scan can touch from (Seed, Week,
+	// domain) so the outcome is independent of scan order and sharding.
+	rng := domainRng(e.cfg, d.Name)
+	e.rng = rng
+	e.net.SetRng(rng)
 	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
-	target := d.Host()
+	target, path := d.Host(), "/"
 	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
 	if err != nil {
 		res.DNSErr = errString(err)
@@ -71,7 +76,7 @@ func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 	}
 	res.Resolved = true
 	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
-		conn := e.connect(target, ip, hop)
+		conn := e.connect(target, ip, hop, path)
 		res.Conns = append(res.Conns, conn)
 		if conn.Redirect == "" {
 			break
@@ -80,18 +85,23 @@ func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 		if next == "" {
 			break
 		}
-		target = next
+		target, path = next, redirectPath(conn.Redirect)
 		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
 		if err != nil {
 			break
 		}
 		ip = nip
 	}
+	// Drain the loop completely: leftover events (server retransmissions,
+	// response-chunk timers, idle timeouts) must consume this domain's
+	// random stream, not leak draws into the next domain's scan.
+	for e.loop.Step() {
+	}
 	return res
 }
 
 // connect performs one request/response exchange against ip.
-func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
+func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path string) ConnResult {
 	out := ConnResult{Target: target, IP: ip, Hop: hop}
 	srv := e.world.ServerAt(ip)
 	e.site(ip, srv) // instantiate the server stack (nil for blackholes)
@@ -110,7 +120,7 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int) ConnResu
 	client.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
 	hc := h3.NewClientConn(conn)
 	reqID, err := hc.Do(&h3.Request{
-		Method: "GET", Authority: target, Path: "/", Headers: scannerHeaders(),
+		Method: "GET", Authority: target, Path: path, Headers: scannerHeaders(),
 	})
 	if err != nil {
 		out.Err = errString(err)

@@ -40,8 +40,9 @@ func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetr
 }
 
 func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
+	e.rng = domainRng(e.cfg, d.Name)
 	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
-	target := d.Host()
+	target, path := d.Host(), "/"
 	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
 	if err != nil {
 		res.DNSErr = errString(err)
@@ -49,7 +50,7 @@ func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
 	}
 	res.Resolved = true
 	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
-		conn := e.connect(target, ip, hop)
+		conn := e.connect(target, ip, hop, path)
 		res.Conns = append(res.Conns, conn)
 		if conn.Redirect == "" {
 			break
@@ -58,7 +59,7 @@ func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
 		if next == "" {
 			break
 		}
-		target = next
+		target, path = next, redirectPath(conn.Redirect)
 		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
 		if err != nil {
 			break
@@ -76,7 +77,7 @@ const (
 	fastStackSamples = 4
 )
 
-func (e *fastEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
+func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string) ConnResult {
 	out := ConnResult{Target: target, IP: ip, Hop: hop}
 	srv := e.world.ServerAt(ip)
 	if srv == nil || !srv.QUIC {
@@ -102,7 +103,7 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int) ConnResult {
 	switch {
 	case d == nil:
 		out.Status = 404
-	case d.RedirectTo != "" && hop == 0 && target == d.Host():
+	case d.RedirectTo != "" && path == "/":
 		out.Status = 301
 		out.Redirect = "https://" + targets.PrependWWW(d.RedirectTo) + "/landing"
 	default:

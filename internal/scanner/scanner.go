@@ -19,6 +19,7 @@ package scanner
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"runtime"
@@ -58,7 +59,9 @@ type Config struct {
 	// MaxRedirects bounds redirect following; zero means 3 (§3.2.1).
 	MaxRedirects int
 	// Workers shards domains across parallel event loops; zero means
-	// GOMAXPROCS. Results are deterministic for a fixed (Seed, Workers).
+	// GOMAXPROCS. Per-domain randomness is derived from (Seed, Week,
+	// domain), so results are deterministic for a fixed Seed regardless
+	// of the Workers value.
 	Workers int
 	// KeepAllObservations retains spin observation series even for
 	// connections without flips (memory-hungry; useful for debugging).
@@ -253,8 +256,20 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 }
 
 // newEngineRng derives a worker shard's random stream from the run seed.
+// It only seeds engine-construction randomness; every per-domain draw
+// comes from domainRng so that sharding cannot influence results.
 func newEngineRng(cfg Config, shard int) *rand.Rand {
 	return rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Week)<<32 ^ int64(shard)*0x9e3779b9))
+}
+
+// domainRng derives the random stream for one domain's scan from
+// (Seed, Week, domain name). Both engines reseed with it at the start of
+// every domain, which makes spin dice, response plans and path noise a
+// function of the domain alone — not of scan order or worker count.
+func domainRng(cfg Config, name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Week)<<32 ^ int64(h.Sum64())))
 }
 
 // engine executes one domain scan.
@@ -290,6 +305,24 @@ func redirectTarget(loc string) string {
 		}
 	}
 	return rest
+}
+
+// redirectPath extracts the path component of a Location header of the
+// form https://host/path, defaulting to "/" when absent. Both engines
+// carry it to the next hop so that redirect chains terminate identically:
+// only requests for "/" are answered with a redirect.
+func redirectPath(loc string) string {
+	const pfx = "https://"
+	if len(loc) <= len(pfx) || loc[:len(pfx)] != pfx {
+		return "/"
+	}
+	rest := loc[len(pfx):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' {
+			return rest[i:]
+		}
+	}
+	return "/"
 }
 
 // scannerHeaders carry the research contact hint the paper's ethics

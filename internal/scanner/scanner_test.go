@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -139,13 +140,54 @@ func TestScanDeterminism(t *testing.T) {
 	w := testWorld(200_000)
 	a := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
 	b := mustRun(t, w, Config{Week: 1, Engine: EngineEmulated, Seed: 5, Workers: 3})
+	sameScanResults(t, a, b)
+}
+
+// TestScanWorkerInvariance checks the stronger property the campaign
+// relies on: per-domain randomness is derived from (Seed, Week, domain),
+// so the worker count must not change any measured quantity.
+func TestScanWorkerInvariance(t *testing.T) {
+	w := testWorld(200_000)
+	for _, eng := range []Engine{EngineEmulated, EngineFast} {
+		a := mustRun(t, w, Config{Week: 1, Engine: eng, Seed: 5, Workers: 1})
+		b := mustRun(t, w, Config{Week: 1, Engine: eng, Seed: 5, Workers: 5})
+		sameScanResults(t, a, b)
+	}
+}
+
+// sameScanResults asserts that two runs agree on everything the analysis
+// pipeline consumes. Absolute observation timestamps may differ (each
+// worker's virtual clock advances with its own scan order), so spin series
+// are compared through their RTT durations.
+func sameScanResults(t *testing.T, a, b *Result) {
+	t.Helper()
 	if len(a.Domains) != len(b.Domains) {
 		t.Fatal("result sizes differ")
 	}
 	for i := range a.Domains {
-		da, db := a.Domains[i], b.Domains[i]
-		if da.Resolved != db.Resolved || da.QUIC() != db.QUIC() || da.SpinActivity() != db.SpinActivity() {
-			t.Fatalf("domain %s differs between runs", da.Domain)
+		da, db := &a.Domains[i], &b.Domains[i]
+		if da.Domain != db.Domain || da.Resolved != db.Resolved || da.DNSErr != db.DNSErr {
+			t.Fatalf("domain %s resolution differs between runs", da.Domain)
+		}
+		if len(da.Conns) != len(db.Conns) {
+			t.Fatalf("domain %s: %d vs %d conns", da.Domain, len(da.Conns), len(db.Conns))
+		}
+		for j := range da.Conns {
+			ca, cb := &da.Conns[j], &db.Conns[j]
+			if ca.Target != cb.Target || ca.IP != cb.IP || ca.Hop != cb.Hop ||
+				ca.Err != cb.Err || ca.QUIC != cb.QUIC || ca.Status != cb.Status ||
+				ca.Server != cb.Server || ca.Redirect != cb.Redirect ||
+				ca.ZeroPkts != cb.ZeroPkts || ca.OnePkts != cb.OnePkts {
+				t.Fatalf("domain %s conn %d differs between runs", da.Domain, j)
+			}
+			if !reflect.DeepEqual(ca.StackRTTs, cb.StackRTTs) {
+				t.Fatalf("domain %s conn %d stack RTTs differ", da.Domain, j)
+			}
+			ra := core.SpinRTTs(ca.Observations, false)
+			rb := core.SpinRTTs(cb.Observations, false)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("domain %s conn %d spin RTT series differ", da.Domain, j)
+			}
 		}
 	}
 }

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedShortHeader builds a valid short-header packet for the corpus.
+func fuzzSeedShortHeader(t testing.TB, dcid []byte, pn uint64, spin bool) []byte {
+	t.Helper()
+	h := &Header{DstConnID: NewConnectionID(dcid), PacketNumber: pn, SpinBit: spin, Reserved: 3}
+	b, err := AppendShortHeader(nil, h, []byte{0x01}, NoAckedPacket)
+	if err != nil {
+		t.Fatalf("seed short header: %v", err)
+	}
+	return b
+}
+
+// fuzzSeedLongHeader builds a valid long-header packet for the corpus.
+func fuzzSeedLongHeader(t testing.TB, typ byte, token, payload []byte) []byte {
+	t.Helper()
+	h := &Header{
+		IsLong:    true,
+		Type:      typ,
+		Version:   Version1,
+		DstConnID: NewConnectionID([]byte{1, 2, 3, 4, 5, 6, 7, 8}),
+		SrcConnID: NewConnectionID([]byte{9, 10, 11, 12}),
+		Token:     token,
+	}
+	b, err := AppendLongHeader(nil, h, payload, NoAckedPacket)
+	if err != nil {
+		t.Fatalf("seed long header: %v", err)
+	}
+	return b
+}
+
+// FuzzVarint checks that ConsumeVarint never panics and that every decoded
+// value survives a re-encode round trip.
+func FuzzVarint(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x3f})
+	f.Add(AppendVarint(nil, MaxVarint1+1))
+	f.Add(AppendVarint(nil, MaxVarint2+1))
+	f.Add(AppendVarint(nil, MaxVarint4+1))
+	f.Add(AppendVarint(nil, MaxVarint8))
+	f.Add([]byte{0x80})             // truncated 2-byte form
+	f.Add([]byte{0xc0, 0x00, 0x01}) // truncated 8-byte form
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := ConsumeVarint(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrVarintRange) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n < 1 || n > 8 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		if v > MaxVarint8 {
+			t.Fatalf("decoded value %d exceeds MaxVarint8", v)
+		}
+		enc := AppendVarint(nil, v)
+		if len(enc) > n {
+			t.Fatalf("re-encoding of %d grew from %d to %d bytes", v, n, len(enc))
+		}
+		rv, rn, err := ConsumeVarint(enc)
+		if err != nil || rv != v || rn != len(enc) {
+			t.Fatalf("round trip of %d failed: got %d (n=%d, err=%v)", v, rv, rn, err)
+		}
+	})
+}
+
+// FuzzShortHeader feeds arbitrary datagrams and connection-ID lengths
+// (including out-of-range ones) through ParseHeader: it must never panic,
+// and successes must respect the caller-supplied bounds.
+func FuzzShortHeader(f *testing.F) {
+	f.Add(fuzzSeedShortHeader(f, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 0, false), 8, uint64(NoAckedPacket))
+	f.Add(fuzzSeedShortHeader(f, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 7000, true), 8, uint64(6999))
+	f.Add(fuzzSeedShortHeader(f, nil, 1, true), 0, uint64(0))
+	f.Add([]byte{0x40}, 0, uint64(NoAckedPacket))        // header only, no PN byte
+	f.Add([]byte{0x40, 0x00}, 21, uint64(NoAckedPacket)) // dcidLen beyond the RFC cap
+	f.Add([]byte{0x40, 0x00}, -1, uint64(NoAckedPacket)) // negative dcidLen
+	f.Add([]byte{0x43, 0x01}, 4, uint64(2))              // 4-byte PN, truncated
+	f.Fuzz(func(t *testing.T, data []byte, dcidLen int, largest uint64) {
+		hdr, payload, consumed, err := ParseHeader(data, dcidLen, largest)
+		if err != nil {
+			return
+		}
+		if hdr.IsLong {
+			return // exercised by FuzzLongHeader
+		}
+		if dcidLen < 0 || dcidLen > MaxConnIDLen {
+			t.Fatalf("accepted out-of-range dcidLen %d", dcidLen)
+		}
+		if hdr.DstConnID.Len() != dcidLen {
+			t.Fatalf("DCID length %d, want %d", hdr.DstConnID.Len(), dcidLen)
+		}
+		if hdr.PacketNumberLen < 1 || hdr.PacketNumberLen > 4 {
+			t.Fatalf("packet number length %d", hdr.PacketNumberLen)
+		}
+		if consumed != len(data) {
+			t.Fatalf("short header consumed %d of %d bytes", consumed, len(data))
+		}
+		if got := 1 + dcidLen + hdr.PacketNumberLen + len(payload); got != len(data) {
+			t.Fatalf("header+payload accounts for %d of %d bytes", got, len(data))
+		}
+	})
+}
+
+// FuzzLongHeader checks long-header parsing plus the frame parser on the
+// decoded payload, and that accepted packets re-encode losslessly.
+func FuzzLongHeader(f *testing.F) {
+	f.Add(fuzzSeedLongHeader(f, TypeInitial, []byte("tok"), []byte{0x01}))
+	f.Add(fuzzSeedLongHeader(f, TypeHandshake, nil, []byte{0x01, 0x00}))
+	crypto := (&CryptoFrame{Offset: 0, Data: []byte("hello")}).Append(nil)
+	f.Add(fuzzSeedLongHeader(f, TypeInitial, nil, crypto))
+	f.Add([]byte{0xc0, 0x00, 0x00, 0x00, 0x01})       // truncated after version
+	f.Add([]byte{0xc0, 0x00, 0x00, 0x00, 0x01, 0x15}) // CID length 21
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, payload, consumed, err := ParseHeader(data, 0, NoAckedPacket)
+		if err != nil || !hdr.IsLong {
+			return
+		}
+		if consumed < 1 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if hdr.DstConnID.Len() > MaxConnIDLen || hdr.SrcConnID.Len() > MaxConnIDLen {
+			t.Fatal("oversized connection ID accepted")
+		}
+		// The frame parser must error, not panic, on arbitrary payloads.
+		if _, err := ParseFrames(payload); err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrInvalidFrame) && !errors.Is(err, ErrVarintRange) {
+			t.Fatalf("unexpected frame error class: %v", err)
+		}
+		// Round trip: re-encoding the accepted header and payload must
+		// parse back to the same packet.
+		enc, err := AppendLongHeader(nil, hdr, payload, NoAckedPacket)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		rh, rp, _, err := ParseHeader(enc, 0, NoAckedPacket)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if rh.Type != hdr.Type || rh.Version != hdr.Version ||
+			!rh.DstConnID.Equal(hdr.DstConnID) || !rh.SrcConnID.Equal(hdr.SrcConnID) ||
+			rh.PacketNumber != hdr.PacketNumber ||
+			!bytes.Equal(rh.Token, hdr.Token) || !bytes.Equal(rp, payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rh, hdr)
+		}
+	})
+}

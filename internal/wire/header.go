@@ -301,6 +301,12 @@ func parseLongHeader(data []byte) (*Header, []byte, int, error) {
 }
 
 func parseShortHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, []byte, int, error) {
+	// dcidLen is caller-supplied (short headers are not self-describing);
+	// bound it like the wire-encoded lengths of long headers so malformed
+	// inputs error instead of panicking in NewConnectionID or slicing.
+	if dcidLen < 0 || dcidLen > MaxConnIDLen {
+		return nil, nil, 0, fmt.Errorf("%w: connection ID length %d", ErrInvalidHeader, dcidLen)
+	}
 	first := data[0]
 	h := &Header{
 		SpinBit:  first&SpinBitMask != 0,

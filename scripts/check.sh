@@ -1,6 +1,7 @@
 #!/bin/sh
-# Pre-PR gate: formatting, vet, build, and the full test suite under the
-# race detector. Run from the repository root:
+# Pre-PR gate: formatting, vet, build, the full test suite under the race
+# detector with shuffled test order, and a short fuzz smoke over every
+# native fuzz target. Run from the repository root:
 #
 #   ./scripts/check.sh
 #
@@ -23,7 +24,22 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
+
+# Native Go fuzzing needs no build tags, so `go vet ./...` above already
+# covers the fuzz harnesses; here each target gets a short guided run
+# beyond its seed corpus (which plain `go test` replays as unit tests).
+fuzz_smoke() {
+    pkg=$1
+    target=$2
+    echo "== go test -fuzz=$target -fuzztime=5s $pkg"
+    go test -run='^$' -fuzz="^${target}\$" -fuzztime=5s "$pkg"
+}
+fuzz_smoke ./internal/wire FuzzVarint
+fuzz_smoke ./internal/wire FuzzShortHeader
+fuzz_smoke ./internal/wire FuzzLongHeader
+fuzz_smoke ./internal/qlog FuzzQlogParse
+fuzz_smoke ./internal/h3 FuzzH3Request
 
 echo "OK"
