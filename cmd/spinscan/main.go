@@ -11,18 +11,22 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/asdb"
 	"quicspin/internal/conformance"
+	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
 	"quicspin/internal/websim"
@@ -44,6 +48,11 @@ func main() {
 	conform := flag.Bool("conformance", false, "run the engine differential + invariant conformance suite instead of scanning")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
 	progressEvery := flag.Duration("progress", 5*time.Second, "progress report interval (0 disables)")
+	retries := flag.Int("retries", 0, "per-domain retry budget for transient failures (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "open a prefix circuit breaker after this many consecutive transient failures per AS (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "virtual cooldown before an open breaker probes again (0 = 30s default)")
+	checkpoint := flag.String("checkpoint", "", "journal completed domains to this directory (enables -resume)")
+	resume := flag.Bool("resume", false, "replay the -checkpoint journal and scan only the remainder")
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -73,10 +82,28 @@ func main() {
 	baseCfg := scanner.Config{
 		Week: first, IPv6: *ipv6, Engine: eng, Workers: *workers,
 		Timeout: *timeout, MaxRedirects: *maxRedirects, Telemetry: reg,
+		Retry:      resilience.RetryPolicy{MaxRetries: *retries},
+		Breaker:    resilience.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
 	}
 	if err := baseCfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+
+	// First SIGINT/SIGTERM stops the campaign gracefully (completed domains
+	// stay in the -checkpoint journal); a second one kills the process.
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Printf("interrupt: stopping after in-flight domains (press again to abort)")
+		close(interrupt)
+		<-sigCh
+		os.Exit(130)
+	}()
+	baseCfg.Interrupt = interrupt
 
 	if *debugAddr != "" {
 		dbg, err := telemetry.StartDebugServer(*debugAddr, reg)
@@ -126,6 +153,14 @@ func main() {
 		cfg.Week = wk
 		cfg.Seed = prof.Seed + int64(wk)
 		res, err := scanner.Run(world, cfg)
+		if errors.Is(err, scanner.ErrInterrupted) {
+			if *checkpoint != "" {
+				log.Printf("campaign interrupted; resume with: spinscan -checkpoint %s -resume (plus the original flags)", *checkpoint)
+			} else {
+				log.Printf("campaign interrupted (no -checkpoint journal; a rerun starts from scratch)")
+			}
+			os.Exit(130)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"testing"
 
+	"quicspin/internal/dns"
+	"quicspin/internal/resilience"
 	"quicspin/internal/websim"
 )
 
@@ -53,6 +55,54 @@ func TestDifferentialEngines(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Fatalf("engines disagree:\n%s", rep.Summary())
+	}
+}
+
+// TestDifferentialEnginesUnderRetries re-runs the differential contract
+// with injected transient failures (a DNS schedule plus fail-first network
+// outages) and recovery retries enabled: the fast engine must mirror the
+// emulated engine's retry behaviour exactly — same recovered resolutions,
+// same redirect chains, same classifications. Workers is 1 because
+// fail-first attempt counters live per worker engine.
+func TestDifferentialEnginesUnderRetries(t *testing.T) {
+	prof := websim.DefaultProfile()
+	prof.Scale = 30_000
+	world := websim.Generate(prof)
+	const week = 1
+
+	// Fail the first connection attempt against a spread of ground-truth
+	// addresses, and time out the first two lookups of every third domain.
+	fail := map[string]int{}
+	for i, d := range world.Domains {
+		if i%5 == 0 && d.V4.IsValid() {
+			fail[d.V4.String()] = 1
+		}
+	}
+	schedule := func(name string, _ dns.RType) int {
+		if len(name)%3 == 0 {
+			return 2
+		}
+		return 0
+	}
+
+	rep, err := RunDiff(DiffConfig{
+		World:        world,
+		Week:         week,
+		Seed:         prof.Seed + week,
+		Workers:      1,
+		Retry:        resilience.RetryPolicy{MaxRetries: 3},
+		DNSSchedule:  schedule,
+		NetFailFirst: fail,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if rep.QUICDomains == 0 || rep.ClassChecked == 0 {
+		t.Error("retry differential population is vacuous")
+	}
+	if !rep.OK() {
+		t.Fatalf("engines disagree under retries:\n%s", rep.Summary())
 	}
 }
 

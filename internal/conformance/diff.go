@@ -27,6 +27,8 @@ import (
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/core"
+	"quicspin/internal/dns"
+	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/websim"
 )
@@ -56,6 +58,14 @@ type DiffConfig struct {
 	// fast/emulated spin-RTT ratios; zero means 1.5. Individual domains may
 	// diverge, but the population must not be biased.
 	MaxMedianRatio float64
+	// Retry, DNSSchedule and NetFailFirst are passed to both engines
+	// verbatim, so the differential contract can be exercised under
+	// injected transient failures and recovery retries. NetFailFirst
+	// counters live per worker in both engines, so runs using it should
+	// set Workers to 1 to keep attempt accounting scan-order-independent.
+	Retry        resilience.RetryPolicy
+	DNSSchedule  func(name string, t dns.RType) int
+	NetFailFirst map[string]int
 }
 
 func (c DiffConfig) maxDomainLogRatio() float64 {
@@ -144,6 +154,9 @@ func RunDiff(cfg DiffConfig) (*DiffReport, error) {
 		Workers:      cfg.Workers,
 		Timeout:      cfg.Timeout,
 		MaxRedirects: cfg.MaxRedirects,
+		Retry:        cfg.Retry,
+		DNSSchedule:  cfg.DNSSchedule,
+		NetFailFirst: cfg.NetFailFirst,
 	}
 	fastCfg, emuCfg := base, base
 	fastCfg.Engine = scanner.EngineFast

@@ -81,6 +81,11 @@ type Resolver struct {
 	stats Stats
 	cache map[cacheKey]cacheEntry
 
+	// schedule, when set, injects transient failures as a pure function of
+	// (name, type, attempt): the first schedule(name, t) attempts time out,
+	// later attempts resolve normally. See SetSchedule.
+	schedule func(name string, t RType) int
+
 	tmQueries *telemetry.Counter
 	tmHits    *telemetry.Counter
 	tmMisses  *telemetry.Counter
@@ -152,13 +157,40 @@ func (r *Resolver) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
-// Lookup resolves name to addresses of the given type.
+// SetSchedule installs a transient-failure schedule for tests: a lookup
+// for (name, t) times out on attempts 0..k-1 where k = schedule(name, t),
+// then succeeds. The schedule is consulted *before* the cache and depends
+// only on (name, type, attempt), never on resolver state, so injected
+// failures stay deterministic across worker counts and cache warm-up
+// order. A nil schedule (the default) disables injection.
+func (r *Resolver) SetSchedule(schedule func(name string, t RType) int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.schedule = schedule
+}
+
+// Lookup resolves name to addresses of the given type (attempt 0).
 func (r *Resolver) Lookup(name string, t RType) ([]netip.Addr, error) {
+	return r.LookupAttempt(name, t, 0)
+}
+
+// LookupAttempt resolves name to addresses of the given type, identifying
+// the caller's per-domain retry attempt (0-based) so failure schedules can
+// fail the first k attempts deterministically.
+func (r *Resolver) LookupAttempt(name string, t RType, attempt int) ([]netip.Addr, error) {
 	name = Normalize(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Queries++
 	r.tmQueries.Inc()
+	// The schedule outranks the cache: a scheduled timeout must fire even
+	// for cached names, or injected-failure tests would depend on which
+	// worker warmed the cache first.
+	if r.schedule != nil && attempt < r.schedule(name, t) {
+		if _, ok := r.backend.Zone(name); ok {
+			return r.finishLocked(nil, fmt.Errorf("%w: %s %s", ErrTimeout, name, t))
+		}
+	}
 	key := cacheKey{name, t}
 	if r.cache != nil {
 		if e, ok := r.cache[key]; ok {

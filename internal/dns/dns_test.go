@@ -156,6 +156,57 @@ func TestCacheDoesNotRetainTimeouts(t *testing.T) {
 	}
 }
 
+func TestScheduleFailsFirstAttempts(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	r.SetSchedule(func(name string, tt RType) int {
+		if name == "www.example.com" && tt == TypeA {
+			return 2
+		}
+		return 0
+	})
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := r.LookupAttempt("www.example.com", TypeA, attempt); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("attempt %d: want timeout, got %v", attempt, err)
+		}
+	}
+	if addrs, err := r.LookupAttempt("www.example.com", TypeA, 2); err != nil || len(addrs) != 1 {
+		t.Fatalf("attempt 2: want success, got (%v, %v)", addrs, err)
+	}
+	// Unscheduled names and record types are untouched.
+	if _, err := r.LookupAttempt("www.example.com", TypeAAAA, 0); err != nil {
+		t.Fatalf("AAAA attempt 0: %v", err)
+	}
+	// NXDOMAIN outranks the schedule (name does not exist, so there is no
+	// server to time out).
+	if _, err := r.LookupAttempt("missing.example.com", TypeA, 0); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("missing name: want NXDOMAIN, got %v", err)
+	}
+}
+
+func TestScheduleOutranksCache(t *testing.T) {
+	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
+	r.EnableCache()
+	r.SetSchedule(func(name string, tt RType) int {
+		if name == "www.example.com" {
+			return 1
+		}
+		return 0
+	})
+	// Warm the cache with a successful attempt-1 lookup first: a scheduled
+	// attempt-0 timeout must still fire afterwards, or injected failures
+	// would depend on cache warm-up order across workers.
+	if _, err := r.LookupAttempt("www.example.com", TypeA, 1); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if _, err := r.LookupAttempt("www.example.com", TypeA, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("scheduled timeout suppressed by cache: %v", err)
+	}
+	// And the timeout was not cached.
+	if _, err := r.LookupAttempt("www.example.com", TypeA, 1); err != nil {
+		t.Fatalf("post-timeout attempt 1: %v", err)
+	}
+}
+
 func TestCachedResultIsACopy(t *testing.T) {
 	r := NewResolver(backend(), rand.New(rand.NewSource(1)))
 	r.EnableCache()

@@ -204,3 +204,52 @@ func TestTelemetryCountersMirrorStats(t *testing.T) {
 		t.Errorf("test vacuous: %+v", st)
 	}
 }
+
+func TestFailFirstOutage(t *testing.T) {
+	loop, n := newNet(PathConfig{Delay: time.Millisecond}, 1)
+	delivered := 0
+	n.Attach("srv", func(time.Time, string, []byte) { delivered++ })
+	n.Attach("cli", func(time.Time, string, []byte) { delivered++ })
+	n.SetFailFirst("srv", 2)
+
+	// Attempts 1 and 2: every packet is lost, both directions.
+	for attempt := 0; attempt < 2; attempt++ {
+		if n.BeginAttempt("srv") {
+			t.Fatalf("attempt %d: expected failure", attempt)
+		}
+		n.Send("cli", "srv", []byte{1})
+		n.Send("srv", "cli", []byte{2})
+		loop.Run()
+		if delivered != 0 {
+			t.Fatalf("attempt %d: %d packets delivered during outage", attempt, delivered)
+		}
+	}
+
+	// Attempt 3: the host has recovered.
+	if !n.BeginAttempt("srv") {
+		t.Fatal("attempt 2: expected recovery")
+	}
+	n.Send("cli", "srv", []byte{1})
+	n.Send("srv", "cli", []byte{2})
+	loop.Run()
+	if delivered != 2 {
+		t.Fatalf("after recovery: delivered = %d, want 2", delivered)
+	}
+
+	// Unscheduled hosts always succeed.
+	if !n.BeginAttempt("other") {
+		t.Fatal("unscheduled host reported failing")
+	}
+}
+
+func TestFailFirstClear(t *testing.T) {
+	_, n := newNet(PathConfig{}, 1)
+	n.SetFailFirst("srv", 5)
+	if n.BeginAttempt("srv") {
+		t.Fatal("expected scheduled failure")
+	}
+	n.SetFailFirst("srv", 0) // clear mid-outage
+	if !n.BeginAttempt("srv") {
+		t.Fatal("cleared schedule still failing")
+	}
+}

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is a crash-safe, append-only checkpoint log sharded across one
+// JSONL file per writer. Each line is a self-contained {"k":key,"v":value}
+// record written with a single Write call, so a SIGKILL can tear at most
+// the final line of each shard; Replay skips torn lines and the scanner
+// simply rescans those domains deterministically. Replay is
+// order-insensitive across shards — the last complete record per key wins
+// — so any mix of worker counts between runs resumes correctly.
+type Journal struct {
+	dir    string
+	mu     sync.Mutex
+	shards map[int]*os.File
+	count  int64
+}
+
+type journalRecord struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// OpenJournal creates (or reuses) dir and returns a journal that appends
+// to shard files inside it.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: create checkpoint dir: %w", err)
+	}
+	return &Journal{dir: dir, shards: map[int]*os.File{}}, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+func shardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", shard))
+}
+
+// Append journals one key/value record to the given shard. The value is
+// marshalled to JSON and the whole line is written with one Write so it is
+// either fully present or torn (never interleaved with another record —
+// shards are per-writer files).
+func (j *Journal) Append(shard int, key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("resilience: marshal checkpoint record: %w", err)
+	}
+	line, err := json.Marshal(journalRecord{K: key, V: raw})
+	if err != nil {
+		return fmt.Errorf("resilience: marshal checkpoint line: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	f := j.shards[shard]
+	if f == nil {
+		f, err = os.OpenFile(shardPath(j.dir, shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			j.mu.Unlock()
+			return fmt.Errorf("resilience: open checkpoint shard: %w", err)
+		}
+		j.shards[shard] = f
+	}
+	j.mu.Unlock()
+
+	// Shards are written by a single worker each; the file handle's own
+	// serialisation is enough. One Write per line keeps lines atomic on
+	// POSIX appends.
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("resilience: append checkpoint record: %w", err)
+	}
+	j.mu.Lock()
+	j.count++
+	j.mu.Unlock()
+	return nil
+}
+
+// Count returns the number of records appended through this handle (not
+// counting records already on disk from a previous run).
+func (j *Journal) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.count
+}
+
+// Close flushes and closes every open shard file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var firstErr error
+	for _, f := range j.shards {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	j.shards = map[int]*os.File{}
+	return firstErr
+}
+
+// Replay reads every shard file in dir and returns the last complete
+// record per key plus the number of torn/unparseable lines skipped. A
+// missing directory is not an error — it replays to an empty map.
+func Replay(dir string) (map[string]json.RawMessage, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]json.RawMessage{}, 0, nil
+		}
+		return nil, 0, fmt.Errorf("resilience: read checkpoint dir: %w", err)
+	}
+	var shards []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".jsonl" {
+			shards = append(shards, filepath.Join(dir, e.Name()))
+		}
+	}
+	// Deterministic shard order; within a shard, later lines override
+	// earlier ones, and the same key never lands in two shards within one
+	// run (shard = canonical index mod workers), so cross-shard order is
+	// immaterial for correctness.
+	sort.Strings(shards)
+
+	out := map[string]json.RawMessage{}
+	torn := 0
+	for _, path := range shards {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("resilience: open checkpoint shard: %w", err)
+		}
+		r := bufio.NewReaderSize(f, 1<<16)
+		for {
+			line, err := r.ReadBytes('\n')
+			complete := err == nil
+			if len(line) > 0 {
+				var rec journalRecord
+				if complete && json.Unmarshal(line, &rec) == nil && rec.K != "" {
+					out[rec.K] = rec.V
+				} else {
+					// Torn tail (no trailing newline) or corrupt line:
+					// drop it; the caller rescans the domain.
+					torn++
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					f.Close()
+					return nil, 0, fmt.Errorf("resilience: read checkpoint shard: %w", err)
+				}
+				break
+			}
+		}
+		f.Close()
+	}
+	return out, torn, nil
+}

@@ -1,0 +1,331 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+	}{
+		{"", ClassNone},
+		{"dns: NXDOMAIN", ClassNXDomain},
+		{"dns: no record of requested type", ClassNoRecord},
+		{"dns: query timed out", ClassDNSTimeout},
+		{"timeout: no QUIC handshake", ClassHandshakeTimeout},
+		{"timeout: no response", ClassHandshakeTimeout},
+		{"connection reset", ClassReset},
+		{"connection closed", ClassReset},
+		{"h3: malformed request", ClassH3},
+		{"panic: runtime error: index out of range", ClassPanic},
+		{"stall: emulated loop exceeded watchdog", ClassStall},
+		{"breaker: prefix open, domain skipped", ClassBreakerOpen},
+		{"something else entirely", ClassOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTransientClasses(t *testing.T) {
+	transient := map[Class]bool{
+		ClassDNSTimeout: true, ClassHandshakeTimeout: true, ClassStall: true,
+	}
+	for c := ClassNone; c <= ClassOther; c++ {
+		if got := c.Transient(); got != transient[c] {
+			t.Errorf("%v.Transient() = %v, want %v", c, got, transient[c])
+		}
+	}
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 5; i++ {
+		da, db := p.Backoff(a, i), p.Backoff(b, i)
+		if da != db {
+			t.Fatalf("retry %d: backoff diverged with identical rng: %v vs %v", i, da, db)
+		}
+		if da < 0 {
+			t.Fatalf("retry %d: negative backoff %v", i, da)
+		}
+	}
+}
+
+func TestRetryBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 10, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(nil, i); got != w {
+			t.Errorf("retry %d: backoff = %v, want %v", i, got, w)
+		}
+	}
+	// Huge retry counts must not overflow into negative durations.
+	if got := p.Backoff(nil, 62); got != time.Second {
+		t.Errorf("retry 62: backoff = %v, want cap %v", got, time.Second)
+	}
+}
+
+func TestRetryPolicyZeroValueDisabled(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero-value RetryPolicy must be disabled")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 3, Cooldown: time.Second, SkipCost: 100 * time.Millisecond}
+	b := NewBreaker(cfg)
+	key := "as-64500"
+	pos := 0
+	step := func(o Outcome) (Decision, Events) {
+		d := b.Acquire(key, pos)
+		ev := b.Record(key, pos, o)
+		pos++
+		return d, ev
+	}
+
+	// Closed: success resets the streak.
+	if d, _ := step(Outcome{Cost: time.Millisecond}); d.Skip || d.State != StateClosed {
+		t.Fatalf("closed success: unexpected decision %+v", d)
+	}
+	// Two transients: still closed.
+	step(Outcome{Transient: true, Cost: time.Millisecond})
+	if d, ev := step(Outcome{Transient: true, Cost: time.Millisecond}); d.Skip || ev.Opened {
+		t.Fatalf("below threshold: decision %+v events %+v", d, ev)
+	}
+	// Third consecutive transient opens the breaker.
+	if _, ev := step(Outcome{Transient: true, Cost: time.Millisecond}); !ev.Opened {
+		t.Fatal("threshold reached: breaker did not open")
+	}
+	if got := b.GroupState(key); got != StateOpen {
+		t.Fatalf("state after open = %v", got)
+	}
+
+	// Open: skipped until the cooldown elapses on the virtual clock.
+	// Each skip advances the clock by SkipCost (100ms); cooldown is 1s.
+	skips := 0
+	for {
+		d := b.Acquire(key, pos)
+		if d.Probe {
+			// Half-open probe: fail it — breaker must re-open.
+			if ev := b.Record(key, pos, Outcome{Transient: true, Cost: time.Millisecond}); !ev.Opened {
+				t.Fatal("failed probe did not re-open breaker")
+			}
+			pos++
+			break
+		}
+		if !d.Skip {
+			t.Fatalf("open breaker let a scan through: %+v", d)
+		}
+		b.Record(key, pos, Outcome{Skipped: true})
+		pos++
+		skips++
+		if skips > 50 {
+			t.Fatal("cooldown never elapsed")
+		}
+	}
+	if skips != 10 {
+		t.Errorf("skips before probe = %d, want 10 (cooldown 1s / skip cost 100ms)", skips)
+	}
+	if got := b.GroupState(key); got != StateOpen {
+		t.Fatalf("state after failed probe = %v", got)
+	}
+
+	// Wait out the cooldown again; this time the probe succeeds and closes.
+	for {
+		d := b.Acquire(key, pos)
+		if d.Probe {
+			if ev := b.Record(key, pos, Outcome{Cost: time.Millisecond}); !ev.Closed {
+				t.Fatal("successful probe did not close breaker")
+			}
+			pos++
+			break
+		}
+		b.Record(key, pos, Outcome{Skipped: true})
+		pos++
+	}
+	if got := b.GroupState(key); got != StateClosed {
+		t.Fatalf("state after successful probe = %v", got)
+	}
+	// Closed again: scans flow.
+	if d, _ := step(Outcome{Cost: time.Millisecond}); d.Skip {
+		t.Fatal("closed breaker skipped a scan")
+	}
+
+	st := b.Stats()
+	if st.Opened != 2 || st.Closed != 1 || st.Probes != 2 {
+		t.Errorf("stats = %+v, want Opened 2 Closed 1 Probes 2", st)
+	}
+}
+
+func TestBreakerGateOrdering(t *testing.T) {
+	// Whatever order goroutines arrive in, decisions are made in position
+	// order — so the set of skipped positions is a pure function of the
+	// outcome sequence.
+	cfg := BreakerConfig{Threshold: 2, Cooldown: time.Hour}
+	const n = 64
+	// Outcome schedule: positions 0 and 1 fail transiently (opens at 1),
+	// so positions 2..n-1 must all be skipped.
+	run := func(seed int64) []bool {
+		b := NewBreaker(cfg)
+		skipped := make([]bool, n)
+		var wg sync.WaitGroup
+		order := rand.New(rand.NewSource(seed)).Perm(n)
+		for _, p := range order {
+			wg.Add(1)
+			go func(pos int) {
+				defer wg.Done()
+				d := b.Acquire("k", pos)
+				if d.Skip {
+					skipped[pos] = true
+					b.Record("k", pos, Outcome{Skipped: true})
+					return
+				}
+				b.Record("k", pos, Outcome{Transient: true, Cost: time.Millisecond})
+			}(p)
+		}
+		wg.Wait()
+		return skipped
+	}
+	a := run(1)
+	bres := run(99)
+	for i := range a {
+		if a[i] != bres[i] {
+			t.Fatalf("position %d: skip decision depends on arrival order", i)
+		}
+		wantSkip := i >= 2
+		if a[i] != wantSkip {
+			t.Errorf("position %d: skipped=%v, want %v", i, a[i], wantSkip)
+		}
+	}
+}
+
+func TestBreakerAbortUnblocks(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1})
+	done := make(chan Decision, 1)
+	go func() {
+		// Position 5 can never proceed (0..4 never record) until Abort.
+		done <- b.Acquire("k", 5)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Abort()
+	select {
+	case d := <-done:
+		if !d.Aborted {
+			t.Fatalf("expected aborted decision, got %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not unblock Acquire")
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(i%3, fmt.Sprintf("key-%d", i), rec{Name: fmt.Sprintf("d%d", i), N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite within the same shard: last write per key wins.
+	if err := j.Append(4%3, "key-4", rec{Name: "d4", N: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Count() != 11 {
+		t.Fatalf("Count = %d, want 11", j.Count())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, torn, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d, want 0", torn)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d keys, want 10", len(got))
+	}
+	var r rec
+	if err := json.Unmarshal(got["key-4"], &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 400 {
+		t.Errorf("key-4 N = %d, want 400 (last write wins)", r.N)
+	}
+}
+
+func TestJournalReplayTornLine(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, "good", map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a SIGKILL mid-write: append a truncated record with no
+	// trailing newline, plus a garbage line in a second shard.
+	f, err := os.OpenFile(shardPath(dir, 0), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":"torn","v":{"v"`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.WriteFile(shardPath(dir, 1), []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, torn, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 2 {
+		t.Errorf("torn = %d, want 2", torn)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d keys, want 1", len(got))
+	}
+	if _, ok := got["good"]; !ok {
+		t.Error("complete record lost during replay")
+	}
+}
+
+func TestJournalReplayMissingDir(t *testing.T) {
+	got, torn, err := Replay(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || torn != 0 {
+		t.Fatalf("missing dir replay = (%d keys, %d torn), want empty", len(got), torn)
+	}
+}

@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds deterministic transient-failure retries. The zero
+// value disables retrying entirely, which keeps legacy configurations
+// byte-identical to their pre-resilience behaviour.
+type RetryPolicy struct {
+	// MaxRetries is the per-domain budget of additional attempts shared by
+	// every transient-retryable stage (DNS, handshake, redirect hops).
+	// Zero disables retries.
+	MaxRetries int
+	// BaseBackoff is the virtual-time delay before the first retry; it
+	// doubles per retry. Zero means 250ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means 5s.
+	MaxBackoff time.Duration
+	// Jitter is the symmetric fractional jitter applied to each backoff,
+	// drawn from the caller's per-domain rng so retried scans stay
+	// deterministic. Zero means 0.2; negative disables jitter.
+	Jitter float64
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return p.BaseBackoff
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxBackoff
+}
+
+func (p RetryPolicy) jitter() float64 {
+	if p.Jitter == 0 {
+		return 0.2
+	}
+	if p.Jitter < 0 {
+		return 0
+	}
+	return p.Jitter
+}
+
+// Backoff returns the virtual-time delay before retry number `retry`
+// (0-based): base·2^retry capped at max, with symmetric jitter drawn from
+// rng. A nil rng disables jitter.
+func (p RetryPolicy) Backoff(rng *rand.Rand, retry int) time.Duration {
+	d := p.max()
+	if retry < 30 { // 2^30 · base would overflow any sane cap anyway
+		if e := p.base() << uint(retry); e < d {
+			d = e
+		}
+	}
+	if j := p.jitter(); j > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 + (rng.Float64()*2-1)*j))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

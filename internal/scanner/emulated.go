@@ -29,6 +29,10 @@ type emulatedEngine struct {
 	resolver  *dns.Resolver
 	servers   map[netip.Addr]*serverSite
 	clientSeq int
+	// stalled marks the engine unhealthy after a watchdog kill: the loop
+	// still holds undrained events, so the worker must rebuild the engine
+	// before scanning another domain.
+	stalled bool
 }
 
 // serverSite is one instantiated server IP on the worker's network.
@@ -52,6 +56,10 @@ func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTele
 	e.net.SetTelemetry(cfg.Telemetry)
 	e.resolver.EnableCache()
 	e.resolver.SetTelemetry(cfg.Telemetry)
+	e.resolver.SetSchedule(cfg.DNSSchedule)
+	for addr, k := range cfg.NetFailFirst {
+		e.net.SetFailFirst(addr, k)
+	}
 	return e
 }
 
@@ -67,48 +75,45 @@ func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 	rng := domainRng(e.cfg, d.Name)
 	e.rng = rng
 	e.net.SetRng(rng)
-	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
-	target, path := d.Host(), "/"
-	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
-	if err != nil {
-		res.DNSErr = errString(err)
-		return res
-	}
-	res.Resolved = true
-	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
-		conn := e.connect(target, ip, hop, path)
-		res.Conns = append(res.Conns, conn)
-		if conn.Redirect == "" {
-			break
-		}
-		next := redirectTarget(conn.Redirect)
-		if next == "" {
-			break
-		}
-		target, path = next, redirectPath(conn.Redirect)
-		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
-		if err != nil {
-			break
-		}
-		ip = nip
-	}
+	// Retry backoff advances this worker's virtual clock; the loop also
+	// fires any pending events inside the backoff window.
+	sleep := func(d time.Duration) { e.loop.RunUntil(e.loop.Now().Add(d)) }
+	res := runChain(e.cfg, rng, e.resolver, sleep, e.tm, d, e.connect)
 	// Drain the loop completely: leftover events (server retransmissions,
 	// response-chunk timers, idle timeouts) must consume this domain's
-	// random stream, not leak draws into the next domain's scan.
-	for e.loop.Step() {
+	// random stream, not leak draws into the next domain's scan. A stalled
+	// loop is not drained — it may never empty; the worker rebuilds the
+	// engine instead.
+	if !e.stalled {
+		for e.loop.Step() {
+		}
 	}
 	return res
 }
 
+// healthy implements engine; false after a watchdog stall.
+func (e *emulatedEngine) healthy() bool { return !e.stalled }
+
+// defaultWatchdogSteps bounds the event-loop iterations of one connection
+// deterministically; a healthy exchange needs a few thousand. Exceeding it
+// means the loop is re-arming events without advancing toward the virtual
+// deadline — a stall.
+const defaultWatchdogSteps = 4 << 20
+
 // connect performs one request/response exchange against ip.
 func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path string) ConnResult {
 	out := ConnResult{Target: target, IP: ip, Hop: hop}
+	if e.stalled {
+		out.Err = "stall: engine marked unhealthy"
+		return out
+	}
 	srv := e.world.ServerAt(ip)
 	e.site(ip, srv) // instantiate the server stack (nil for blackholes)
 
 	e.clientSeq++
 	clientAddr := fmt.Sprintf("probe-%d", e.clientSeq)
 	serverAddr := ip.String()
+	e.net.BeginAttempt(serverAddr) // injected-outage accounting (tests)
 	if srv != nil {
 		path := e.world.PathConfig(srv)
 		e.net.SetSymmetricPath(clientAddr, serverAddr, path)
@@ -149,9 +154,29 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	client.Kick()
 
 	deadline := e.loop.Now().Add(e.cfg.timeout())
+	budget := e.cfg.watchdogSteps
+	if budget <= 0 {
+		budget = defaultWatchdogSteps
+	}
+	wall := e.cfg.Watchdog
+	if wall == 0 {
+		wall = 30 * time.Second
+	}
+	wallStart := time.Now()
+	steps := 0
 	for !done && e.loop.Now().Before(deadline) {
 		if !e.loop.Step() {
 			break
+		}
+		steps++
+		// Watchdog: a deterministic step budget, plus a wall-clock bound
+		// checked every 1024 steps (cheap enough for the hot path). Either
+		// trips only when the loop spins without advancing virtual time.
+		if steps >= budget || (wall > 0 && steps%1024 == 0 && time.Since(wallStart) > wall) {
+			e.stalled = true
+			e.tm.stalls.Inc()
+			out.Err = "stall: emulated event loop exceeded its watchdog budget"
+			return out
 		}
 	}
 

@@ -23,6 +23,10 @@ type fastEngine struct {
 	tm       *scanTelemetry
 	resolver *dns.Resolver
 	now      time.Time
+	// failFirst mirrors netem's injected-outage schedule for engine parity:
+	// the first k connection attempts against an address time out, then it
+	// recovers. Counters live per engine (per worker), like netem's.
+	failFirst map[string]int
 }
 
 func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *fastEngine {
@@ -36,38 +40,26 @@ func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetr
 	}
 	e.resolver.EnableCache()
 	e.resolver.SetTelemetry(cfg.Telemetry)
+	e.resolver.SetSchedule(cfg.DNSSchedule)
+	if len(cfg.NetFailFirst) > 0 {
+		e.failFirst = make(map[string]int, len(cfg.NetFailFirst))
+		for addr, k := range cfg.NetFailFirst {
+			e.failFirst[addr] = k
+		}
+	}
 	return e
 }
 
 func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
 	e.rng = domainRng(e.cfg, d.Name)
-	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
-	target, path := d.Host(), "/"
-	ip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
-	if err != nil {
-		res.DNSErr = errString(err)
-		return res
-	}
-	res.Resolved = true
-	for hop := 0; hop <= e.cfg.maxRedirects(); hop++ {
-		conn := e.connect(target, ip, hop, path)
-		res.Conns = append(res.Conns, conn)
-		if conn.Redirect == "" {
-			break
-		}
-		next := redirectTarget(conn.Redirect)
-		if next == "" {
-			break
-		}
-		target, path = next, redirectPath(conn.Redirect)
-		nip, err := resolveTarget(e.resolver, target, e.cfg.IPv6)
-		if err != nil {
-			break
-		}
-		ip = nip
-	}
-	return res
+	// No virtual clock to advance here: retry backoff only draws jitter
+	// from the domain rng (sleep is a no-op).
+	return runChain(e.cfg, e.rng, e.resolver, nil, e.tm, d, e.connect)
 }
+
+// healthy implements engine; the fast engine holds no loop state that can
+// stall.
+func (e *fastEngine) healthy() bool { return true }
 
 // Model constants mirroring the emulated transport.
 const (
@@ -79,6 +71,14 @@ const (
 
 func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string) ConnResult {
 	out := ConnResult{Target: target, IP: ip, Hop: hop}
+	if k := e.failFirst[ip.String()]; k > 0 {
+		e.failFirst[ip.String()] = k - 1
+		// Mirror the emulated engine during an injected outage: every
+		// packet is lost, so the handshake times out.
+		out.Err = "timeout: no QUIC handshake"
+		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
+		return out
+	}
 	srv := e.world.ServerAt(ip)
 	if srv == nil || !srv.QUIC {
 		out.Err = "timeout: no QUIC handshake"

@@ -18,19 +18,28 @@
 package scanner
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quicspin/internal/core"
 	"quicspin/internal/dns"
+	"quicspin/internal/resilience"
 	"quicspin/internal/telemetry"
 	"quicspin/internal/websim"
 )
+
+// ErrInterrupted reports that Run stopped early because Config.Interrupt
+// fired (or InterruptAfter elapsed). The partial Result is still returned;
+// completed domains are in the checkpoint journal when one is configured.
+var ErrInterrupted = errors.New("scanner: campaign interrupted")
 
 // Engine selects how connections are executed.
 type Engine int
@@ -70,6 +79,56 @@ type Config struct {
 	// per-stage virtual-time histograms). Nil disables instrumentation at
 	// near-zero cost on the hot path.
 	Telemetry *telemetry.Registry
+
+	// Retry bounds deterministic transient-failure retries (DNS timeouts,
+	// handshake timeouts). Backoff runs in virtual time and draws jitter
+	// from the per-domain rng, so retried results stay worker-invariant.
+	// The zero value disables retries (legacy behaviour).
+	Retry resilience.RetryPolicy
+	// Breaker enables the per-prefix/AS circuit breaker (§A backoff
+	// etiquette): after Breaker.Threshold consecutive transient failures
+	// within one AS, further domains there are skipped with a "breaker:"
+	// error class until a virtual cooldown elapses. The zero value
+	// disables it.
+	Breaker resilience.BreakerConfig
+	// Checkpoint, when non-empty, journals every completed DomainResult to
+	// sharded JSONL files under this directory so an interrupted campaign
+	// can resume.
+	Checkpoint string
+	// Resume replays an existing Checkpoint journal before scanning and
+	// skips the domains it already covers; the merged Result is
+	// byte-identical to an uninterrupted run.
+	Resume bool
+	// Interrupt, when non-nil, stops the campaign gracefully as soon as it
+	// is closed (or receives); Run then returns the partial Result with
+	// ErrInterrupted.
+	Interrupt <-chan struct{}
+	// InterruptAfter, when positive, interrupts the campaign after that
+	// many domains have completed — the in-process equivalent of killing a
+	// run halfway through (used by resume tests and smoke checks).
+	InterruptAfter int64
+	// Watchdog is the wall-clock budget per emulated connection before the
+	// event loop is declared stalled (the domain gets a "stall:" result
+	// and the engine is rebuilt). Zero means 30s; negative disables the
+	// wall-clock check. A deterministic step budget applies regardless.
+	Watchdog time.Duration
+	// DNSSchedule injects transient DNS failures for tests: a lookup for
+	// (name, type) times out on attempts 0..k-1 where k = DNSSchedule(name,
+	// type). Must be a pure function of its arguments.
+	DNSSchedule func(name string, t dns.RType) int
+	// NetFailFirst injects transient connection failures for tests: the
+	// first k attempts against an address (keyed by its string form) lose
+	// every packet, then the host recovers. Attempt counters live per
+	// worker engine, so use Workers=1 (or an effectively-infinite k) when
+	// asserting exact counts.
+	NetFailFirst map[string]int
+
+	// panicHook, when set, makes the named domain's scan panic (exercising
+	// worker isolation); in-package tests only.
+	panicHook func(domain string) bool
+	// watchdogSteps overrides the deterministic per-connection step budget
+	// of the emulated watchdog; in-package tests only. Zero means 4M.
+	watchdogSteps int
 }
 
 // Validate reports descriptive errors for config values that zero-default
@@ -91,6 +150,15 @@ func (c Config) Validate() error {
 	}
 	if c.Engine != EngineEmulated && c.Engine != EngineFast {
 		return fmt.Errorf("scanner: unknown Engine %d (want EngineEmulated or EngineFast)", c.Engine)
+	}
+	if c.Retry.MaxRetries < 0 {
+		return fmt.Errorf("scanner: Retry.MaxRetries must be >= 0 (0 disables retries), got %d", c.Retry.MaxRetries)
+	}
+	if c.Breaker.Threshold < 0 {
+		return fmt.Errorf("scanner: Breaker.Threshold must be >= 0 (0 disables the breaker), got %d", c.Breaker.Threshold)
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return fmt.Errorf("scanner: Resume requires a Checkpoint directory")
 	}
 	return nil
 }
@@ -214,7 +282,9 @@ type Result struct {
 }
 
 // Run executes a measurement of every domain in the world's population.
-// It returns an error only for invalid configs (see Config.Validate).
+// It returns an error for invalid configs (see Config.Validate), for an
+// unreadable or unwritable checkpoint directory, and — wrapped around the
+// partial Result — ErrInterrupted when the campaign was stopped early.
 func Run(w *websim.World, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -230,6 +300,35 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 	// multi-week campaign), so the population denominator accumulates too:
 	// the progress ratio stays ≤ 1 for the campaign as a whole.
 	tm.population.Add(int64(len(domains)))
+
+	journal, replayed, err := openCheckpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	gate := newBreakerGate(w, cfg)
+	var interrupted atomic.Bool
+	interrupt := func() {
+		if interrupted.CompareAndSwap(false, true) && gate != nil {
+			gate.br.Abort()
+		}
+	}
+	if cfg.Interrupt != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-cfg.Interrupt:
+				interrupt()
+			case <-stopWatch:
+			}
+		}()
+	}
+	var completed atomic.Int64
+
 	out := &Result{Week: cfg.Week, IPv6: cfg.IPv6, Domains: make([]DomainResult, len(domains))}
 	var wg sync.WaitGroup
 	for shard := 0; shard < nw; shard++ {
@@ -238,21 +337,103 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 			defer wg.Done()
 			tm.workersActive.Add(1)
 			defer tm.workersActive.Add(-1)
-			rng := newEngineRng(cfg, shard)
-			var eng engine
-			if cfg.Engine == EngineFast {
-				eng = newFastEngine(w, cfg, rng, tm)
-			} else {
-				eng = newEmulatedEngine(w, cfg, rng, tm)
-			}
+			eng := buildEngine(w, cfg, newEngineRng(cfg, shard), tm)
 			for i := shard; i < len(domains); i += nw {
-				out.Domains[i] = eng.scanDomain(domains[i])
+				if interrupted.Load() {
+					return
+				}
+				d := domains[i]
+				// The gate serialises breaker decisions in canonical
+				// domain order per group; workers ascend within their
+				// shards, so waits are only ever on strictly-earlier
+				// indices and cannot deadlock.
+				var dec resilience.Decision
+				key := ""
+				if gate != nil {
+					key = gate.keys[i]
+				}
+				if key != "" {
+					dec = gate.br.Acquire(key, gate.pos[i])
+					if dec.Aborted {
+						return
+					}
+					if dec.Probe {
+						tm.breakerProbes.Inc()
+					}
+				}
+				res, fromCheckpoint := replayResult(replayed, cfg, d)
+				if fromCheckpoint {
+					tm.resumed.Inc()
+				} else if dec.Skip {
+					res = breakerSkipResult(d)
+					tm.breakerSkipped.Inc()
+				} else {
+					var panicked bool
+					res, panicked = scanSafely(eng, cfg, d)
+					if panicked {
+						tm.panics.Inc()
+					}
+					if panicked || !eng.healthy() {
+						// The engine's loop or internal state cannot be
+						// trusted after a panic or stall: rebuild it.
+						// Per-domain rng derivation keeps every other
+						// domain's result unchanged.
+						eng = buildEngine(w, cfg, newEngineRng(cfg, shard), tm)
+					}
+				}
+				if key != "" {
+					// Replayed results report the same outcome their live
+					// scan did, so the breaker replays to the same state.
+					if ev := gate.br.Record(key, gate.pos[i], domainOutcome(&res, cfg)); ev.Opened {
+						tm.breakerOpen.Inc()
+					}
+				}
+				out.Domains[i] = res
 				tm.recordDomain(&out.Domains[i])
+				if journal != nil && !fromCheckpoint {
+					if err := journal.Append(shard, checkpointKey(cfg, d.Name), &out.Domains[i]); err != nil {
+						tm.checkpointErrors.Inc()
+					}
+				}
+				if n := completed.Add(1); cfg.InterruptAfter > 0 && n >= cfg.InterruptAfter {
+					interrupt()
+				}
 			}
 		}(shard)
 	}
 	wg.Wait()
+	if interrupted.Load() {
+		return out, ErrInterrupted
+	}
 	return out, nil
+}
+
+// buildEngine constructs a worker's engine; also used to rebuild one whose
+// state cannot be trusted after a panic or watchdog stall.
+func buildEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) engine {
+	if cfg.Engine == EngineFast {
+		return newFastEngine(w, cfg, rng, tm)
+	}
+	return newEmulatedEngine(w, cfg, rng, tm)
+}
+
+// scanSafely isolates one domain scan: a panic anywhere in the engine is
+// converted into an error-classed DomainResult instead of killing the
+// campaign.
+func scanSafely(eng engine, cfg Config, d *websim.Domain) (res DomainResult, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			res = DomainResult{
+				Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist,
+				Conns: []ConnResult{{Target: d.Host(), Err: fmt.Sprintf("panic: %v", r)}},
+			}
+		}
+	}()
+	if cfg.panicHook != nil && cfg.panicHook(d.Name) {
+		panic("injected scanner fault")
+	}
+	return eng.scanDomain(d), false
 }
 
 // newEngineRng derives a worker shard's random stream from the run seed.
@@ -272,57 +453,177 @@ func domainRng(cfg Config, name string) *rand.Rand {
 	return rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Week)<<32 ^ int64(h.Sum64())))
 }
 
-// engine executes one domain scan.
+// engine executes one domain scan. healthy reports whether the engine can
+// scan further domains; a stalled emulated loop returns false and the
+// worker rebuilds the engine.
 type engine interface {
 	scanDomain(d *websim.Domain) DomainResult
+	healthy() bool
 }
 
-// resolveTarget resolves the www-form host of a domain in the configured
-// address family.
-func resolveTarget(res *dns.Resolver, host string, ipv6 bool) (netip.Addr, error) {
+// Retry stages (telemetry labels of retries_total).
+const (
+	retryStageDNS  = "dns"
+	retryStageConn = "conn"
+)
+
+// retrier tracks one domain's retry budget, shared across DNS lookups and
+// connection attempts of the whole redirect chain. Backoff advances the
+// engine's virtual clock via sleep and draws jitter from the per-domain
+// rng, so a retried scan remains a pure function of (Seed, Week, domain).
+type retrier struct {
+	policy resilience.RetryPolicy
+	rng    *rand.Rand
+	sleep  func(time.Duration)
+	tm     *scanTelemetry
+	used   int
+}
+
+// retry reports whether the failure described by errStr should be retried,
+// burning one unit of budget and sleeping the backoff when it is.
+func (r *retrier) retry(stage, errStr string) bool {
+	cls := resilience.Classify(errStr)
+	// Stalls are transient for campaign-level accounting (the breaker),
+	// but never retried in-domain: the engine that produced one must be
+	// rebuilt before it can scan again.
+	if !r.policy.Enabled() || cls == resilience.ClassStall || !cls.Transient() {
+		return false
+	}
+	if r.used >= r.policy.MaxRetries {
+		r.tm.retriesExhausted.Inc()
+		return false
+	}
+	d := r.policy.Backoff(r.rng, r.used)
+	r.used++
+	r.tm.retries[stage].Inc()
+	if r.sleep != nil {
+		r.sleep(d)
+	}
+	return true
+}
+
+// resolveRetry resolves the host in the configured address family,
+// retrying transient DNS failures within the domain's budget. It returns
+// every resolved address so connection-level retries can rotate through
+// them (multi-address fallback).
+func resolveRetry(rt *retrier, res *dns.Resolver, host string, ipv6 bool) ([]netip.Addr, error) {
 	t := dns.TypeA
 	if ipv6 {
 		t = dns.TypeAAAA
 	}
-	addrs, err := res.Lookup(host, t)
-	if err != nil {
-		return netip.Addr{}, err
+	for attempt := 0; ; attempt++ {
+		addrs, err := res.LookupAttempt(host, t, attempt)
+		if err == nil {
+			return addrs, nil
+		}
+		if !rt.retry(retryStageDNS, err.Error()) {
+			return nil, err
+		}
 	}
-	return addrs[0], nil
 }
 
-// redirectTarget extracts the authority from a Location header of the form
-// https://host/path.
-func redirectTarget(loc string) string {
+// connectRetry dials until success or budget exhaustion, rotating through
+// the resolved addresses across attempts (zgrab2-style fallback: the first
+// address may be down while a later one answers).
+func connectRetry(rt *retrier, addrs []netip.Addr, dial func(ip netip.Addr) ConnResult) ConnResult {
+	for attempt := 0; ; attempt++ {
+		conn := dial(addrs[attempt%len(addrs)])
+		if conn.Err == "" || !rt.retry(retryStageConn, conn.Err) {
+			return conn
+		}
+	}
+}
+
+// runChain executes one domain's full scan — landing request plus redirect
+// chain — with retry and multi-address fallback. Both engines share it;
+// dial performs one engine-specific connection attempt.
+func runChain(cfg Config, rng *rand.Rand, resolver *dns.Resolver, sleep func(time.Duration), tm *scanTelemetry, d *websim.Domain, dial func(target string, ip netip.Addr, hop int, path string) ConnResult) DomainResult {
+	rt := &retrier{policy: cfg.Retry, rng: rng, sleep: sleep, tm: tm}
+	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
+	target, path := d.Host(), "/"
+	addrs, err := resolveRetry(rt, resolver, target, cfg.IPv6)
+	if err != nil {
+		res.DNSErr = errString(err)
+		return res
+	}
+	res.Resolved = true
+	for hop := 0; hop <= cfg.maxRedirects(); hop++ {
+		hop := hop
+		conn := connectRetry(rt, addrs, func(ip netip.Addr) ConnResult {
+			return dial(target, ip, hop, path)
+		})
+		res.Conns = append(res.Conns, conn)
+		if conn.Redirect == "" {
+			break
+		}
+		next := redirectTarget(conn.Redirect)
+		if next == "" {
+			break
+		}
+		target, path = next, redirectPath(conn.Redirect)
+		naddrs, err := resolveRetry(rt, resolver, target, cfg.IPv6)
+		if err != nil {
+			break
+		}
+		addrs = naddrs
+	}
+	return res
+}
+
+// splitRedirect parses a Location value of the form https://host[:port]/path.
+// The scheme is matched case-insensitively and an explicit port is stripped
+// (HTTPS://Host:443/x redirects to host "host", path "/x"); the host is
+// lowercased like any DNS name. ok is false for non-https or empty hosts.
+func splitRedirect(loc string) (host, path string, ok bool) {
 	const pfx = "https://"
-	if len(loc) <= len(pfx) || loc[:len(pfx)] != pfx {
+	if len(loc) <= len(pfx) || !strings.EqualFold(loc[:len(pfx)], pfx) {
+		return "", "/", false
+	}
+	rest := loc[len(pfx):]
+	path = "/"
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		host, path = rest[:i], rest[i:]
+	} else {
+		host = rest
+	}
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && isDigits(host[i+1:]) {
+		host = host[:i]
+	}
+	if host == "" {
+		return "", "/", false
+	}
+	return strings.ToLower(host), path, true
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// redirectTarget extracts the authority from a Location header ("" when
+// the value is not an https URL).
+func redirectTarget(loc string) string {
+	host, _, ok := splitRedirect(loc)
+	if !ok {
 		return ""
 	}
-	rest := loc[len(pfx):]
-	for i := 0; i < len(rest); i++ {
-		if rest[i] == '/' {
-			return rest[:i]
-		}
-	}
-	return rest
+	return host
 }
 
-// redirectPath extracts the path component of a Location header of the
-// form https://host/path, defaulting to "/" when absent. Both engines
-// carry it to the next hop so that redirect chains terminate identically:
-// only requests for "/" are answered with a redirect.
+// redirectPath extracts the path component of a Location header,
+// defaulting to "/" when absent. Both engines carry it to the next hop so
+// that redirect chains terminate identically: only requests for "/" are
+// answered with a redirect.
 func redirectPath(loc string) string {
-	const pfx = "https://"
-	if len(loc) <= len(pfx) || loc[:len(pfx)] != pfx {
-		return "/"
-	}
-	rest := loc[len(pfx):]
-	for i := 0; i < len(rest); i++ {
-		if rest[i] == '/' {
-			return rest[i:]
-		}
-	}
-	return "/"
+	_, path, _ := splitRedirect(loc)
+	return path
 }
 
 // scannerHeaders carry the research contact hint the paper's ethics

@@ -257,10 +257,33 @@ func TestRedirectTarget(t *testing.T) {
 		"http://www.example.com/":         "",
 		"":                                "",
 		"https://":                        "",
+		// Case-insensitive scheme, mixed-case host, explicit port.
+		"HTTPS://Host:443/x":              "host",
+		"Https://WWW.Example.COM/landing": "www.example.com",
+		"https://www.example.com:8443":    "www.example.com",
+		// A non-numeric "port" is not a port; nothing is stripped.
+		"https://www.example.com:abc/x": "www.example.com:abc",
+		"HTTP://www.example.com/":       "",
 	}
 	for in, want := range cases {
 		if got := redirectTarget(in); got != want {
 			t.Errorf("redirectTarget(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRedirectPath(t *testing.T) {
+	cases := map[string]string{
+		"https://www.example.com/landing": "/landing",
+		"https://www.example.com":         "/",
+		"HTTPS://Host:443/x":              "/x",
+		"https://host:8443/a/b?q=1":       "/a/b?q=1",
+		"http://www.example.com/x":        "/",
+		"":                                "/",
+	}
+	for in, want := range cases {
+		if got := redirectPath(in); got != want {
+			t.Errorf("redirectPath(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -21,20 +21,44 @@ import (
 //	spinscan_week                       campaign week being scanned
 //	spinscan_domains_population         domains queued across runs so far
 //
+// Resilience metric names (see README "Campaign resilience").
+//
+//	retries_total{stage}                transient-failure retries (dns|conn)
+//	retries_exhausted_total             domains whose retry budget ran out
+//	scan_panics_total                   worker panics downgraded to results
+//	scan_stalls_total                   emulated loops killed by the watchdog
+//	breaker_open_total                  circuit-breaker open transitions
+//	breaker_skipped_total               domains skipped by an open breaker
+//	breaker_probes_total                half-open probe scans
+//	domains_resumed_total               domains replayed from a checkpoint
+//	checkpoint_errors_total             journal write failures (scan continues)
+//
 // Connection error classes.
 const (
 	errClassDNS     = "dns"
 	errClassTimeout = "timeout"
 	errClassReset   = "reset"
 	errClassH3      = "h3"
+	errClassPanic   = "panic"
+	errClassStall   = "stall"
+	errClassBreaker = "breaker"
 	errClassOther   = "other"
 )
 
-var errClasses = []string{errClassDNS, errClassTimeout, errClassReset, errClassH3, errClassOther}
+var errClasses = []string{
+	errClassDNS, errClassTimeout, errClassReset, errClassH3,
+	errClassPanic, errClassStall, errClassBreaker, errClassOther,
+}
 
 // errClass buckets a ConnResult.Err string for the error-class counters.
 func errClass(s string) string {
 	switch {
+	case strings.HasPrefix(s, "panic:"):
+		return errClassPanic
+	case strings.HasPrefix(s, "stall:"):
+		return errClassStall
+	case strings.HasPrefix(s, "breaker:"):
+		return errClassBreaker
 	case strings.HasPrefix(s, "timeout"):
 		return errClassTimeout
 	case strings.Contains(s, "reset") || strings.Contains(s, "closed"):
@@ -59,6 +83,15 @@ type scanTelemetry struct {
 	stHandshake, stRequest, stTotal *telemetry.Stage
 	workersActive                   *telemetry.Gauge
 	week, population                *telemetry.Gauge
+
+	retries          map[string]*telemetry.Counter
+	retriesExhausted *telemetry.Counter
+	panics, stalls   *telemetry.Counter
+	breakerOpen      *telemetry.Counter
+	breakerSkipped   *telemetry.Counter
+	breakerProbes    *telemetry.Counter
+	resumed          *telemetry.Counter
+	checkpointErrors *telemetry.Counter
 }
 
 func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
@@ -77,6 +110,18 @@ func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
 		week:              reg.Gauge("spinscan_week"),
 		population:        reg.Gauge("spinscan_domains_population"),
 		errs:              map[string]*telemetry.Counter{},
+		retries: map[string]*telemetry.Counter{
+			retryStageDNS:  reg.Counter(telemetry.Name("retries_total", "stage", retryStageDNS)),
+			retryStageConn: reg.Counter(telemetry.Name("retries_total", "stage", retryStageConn)),
+		},
+		retriesExhausted: reg.Counter("retries_exhausted_total"),
+		panics:           reg.Counter("scan_panics_total"),
+		stalls:           reg.Counter("scan_stalls_total"),
+		breakerOpen:      reg.Counter("breaker_open_total"),
+		breakerSkipped:   reg.Counter("breaker_skipped_total"),
+		breakerProbes:    reg.Counter("breaker_probes_total"),
+		resumed:          reg.Counter("domains_resumed_total"),
+		checkpointErrors: reg.Counter("checkpoint_errors_total"),
 	}
 	for _, class := range errClasses {
 		t.errs[class] = reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", class))
