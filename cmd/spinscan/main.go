@@ -35,6 +35,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 2000, "population scale divisor (1000 = 216k CZDS domains)")
 	seed := flag.Int64("seed", 20230515, "world generation seed")
+	hostileFrac := flag.Float64("hostile-frac", 0, "fraction of QUIC servers assigned a hostile-endpoint misbehavior profile (0-1)")
 	week := flag.Int("week", 12, "campaign week to scan (1-12)")
 	weeks := flag.Int("weeks", 0, "scan this many consecutive weeks instead of one")
 	ipv6 := flag.Bool("ipv6", false, "scan AAAA targets (Table 4 view)")
@@ -59,6 +60,9 @@ func main() {
 	// send world generation into nonsense (or enormous) populations.
 	if *scale <= 0 {
 		log.Fatalf("-scale must be positive (got %d)", *scale)
+	}
+	if *hostileFrac < 0 || *hostileFrac > 1 {
+		log.Fatalf("-hostile-frac must be in [0, 1] (got %g)", *hostileFrac)
 	}
 
 	eng := scanner.EngineEmulated
@@ -117,6 +121,7 @@ func main() {
 	prof := websim.DefaultProfile()
 	prof.Scale = *scale
 	prof.Seed = *seed
+	prof.HostileFrac = *hostileFrac
 	log.Printf("generating world (scale 1/%d)...", *scale)
 	world := websim.Generate(prof)
 	log.Printf("population: %d domains, %d servers", len(world.Domains), len(world.Servers()))
@@ -190,6 +195,10 @@ func main() {
 	}
 	fmt.Println()
 	if err := analysis.RenderSoftwareTable(wk, analysis.StandardViews()[1]).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := analysis.RenderErrorClasses(wk).Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 	if len(analyzed) > 1 {

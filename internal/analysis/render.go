@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"quicspin/internal/asdb"
+	"quicspin/internal/hostile"
 	"quicspin/internal/report"
+	"quicspin/internal/resilience"
 	"quicspin/internal/stats"
 )
 
@@ -62,6 +64,51 @@ func RenderSpinConfig(w *Week) *report.Table {
 			return fmt.Sprintf("%s (%s)", report.Count(n), stats.Percent(n, r.QUICDomains))
 		}
 		t.AddRow(v.Label, pc(r.AllZero), pc(r.AllOne), report.Count(r.Spin), pc(r.Grease))
+	}
+	return t
+}
+
+// RenderErrorClasses renders the connection-failure breakdown by resilience
+// error class, with hostile-endpoint profiles broken out beneath the hostile
+// class. Shares are over all connection attempts of the week.
+func RenderErrorClasses(w *Week) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 5. Connection errors by class (week %d)", w.Week),
+		"Class", "Conns", "Share")
+	total := 0
+	classes := map[resilience.Class]int{}
+	profiles := map[hostile.Profile]int{}
+	for i := range w.Domains {
+		for j := range w.Domains[i].Src.Conns {
+			c := &w.Domains[i].Src.Conns[j]
+			total++
+			cls := resilience.Classify(c.Err)
+			if cls == resilience.ClassNone {
+				continue
+			}
+			classes[cls]++
+			if cls == resilience.ClassHostile {
+				profiles[hostile.ProfileOf(c.Err)]++
+			}
+		}
+	}
+	for cls := resilience.ClassNone + 1; cls <= resilience.ClassOther; cls++ {
+		n := classes[cls]
+		if n == 0 {
+			continue
+		}
+		t.AddRow(cls.String(), report.Count(n), stats.Percent(n, total))
+		if cls != resilience.ClassHostile {
+			continue
+		}
+		for _, p := range hostile.Profiles() {
+			if pn := profiles[p]; pn > 0 {
+				t.AddRow("  hostile: "+p.String(), report.Count(pn), stats.Percent(pn, total))
+			}
+		}
+	}
+	if len(classes) == 0 {
+		t.AddRow("(no errors)", report.Count(0), stats.Percent(0, total))
 	}
 	return t
 }

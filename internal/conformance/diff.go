@@ -28,6 +28,7 @@ import (
 	"quicspin/internal/analysis"
 	"quicspin/internal/core"
 	"quicspin/internal/dns"
+	"quicspin/internal/hostile"
 	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/websim"
@@ -189,7 +190,7 @@ func compare(cfg DiffConfig, fast, emu *scanner.Result) *DiffReport {
 		if fd.QUIC() || ed.QUIC() {
 			rep.QUICDomains++
 		}
-		if fr, er := domainSpinMean(fd), domainSpinMean(ed); fr > 0 && er > 0 {
+		if fr, er := domainSpinMean(cfg.World, fd), domainSpinMean(cfg.World, ed); fr > 0 && er > 0 {
 			rep.RTTCompared++
 			ratio := float64(fr) / float64(er)
 			ratios = append(ratios, ratio)
@@ -283,11 +284,16 @@ func compareDomain(cfg DiffConfig, fd, ed *scanner.DomainResult, rep *DiffReport
 }
 
 // domainSpinMean averages the received-order spin-RTT means of a domain's
-// spin-classified connections, or 0 when there are none.
-func domainSpinMean(d *scanner.DomainResult) time.Duration {
+// spin-classified connections, or 0 when there are none. Connections to
+// hostile servers are excluded: a spin series forged by an adversarial peer
+// carries no RTT signal, and the two engines legitimately disagree on it.
+func domainSpinMean(w *websim.World, d *scanner.DomainResult) time.Duration {
 	var sum time.Duration
 	n := 0
 	for j := range d.Conns {
+		if srv := w.ServerAt(d.Conns[j].IP); srv != nil && srv.Hostile != hostile.None {
+			continue
+		}
 		c := analysis.AnalyzeConn(&d.Conns[j])
 		if c.Class == analysis.ClassSpin && c.SpinMeanR > 0 {
 			sum += c.SpinMeanR
@@ -364,6 +370,14 @@ func permissibleConnClasses(w *websim.World, week int, c *scanner.ConnResult) cl
 		// A completed handshake against a non-QUIC address would itself be
 		// a bug; no class is permissible.
 		return 0
+	}
+	if srv.Hostile != hostile.None {
+		// A hostile server's wire behaviour is adversarial by construction:
+		// any classification is permissible. What the differential contract
+		// asserts for these is graceful degradation — matching chain, QUIC
+		// capability and response fields — not a trusted spin measurement.
+		return setOf(analysis.ClassNone, analysis.ClassAllZero, analysis.ClassAllOne,
+			analysis.ClassSpin, analysis.ClassGrease)
 	}
 	p := srv.PolicyForWeek(week)
 	s := classesForMode(p.Mode)

@@ -1,6 +1,7 @@
 package h3
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -20,6 +21,16 @@ func FuzzH3Request(f *testing.F) {
 	f.Add([]byte("GET / HTTP/2\n\n")) // wrong protocol token
 	f.Add([]byte("\n"))
 	f.Add([]byte{})
+	// Hostile-profile shapes: the header-flood profile streams endless
+	// header lines without ever sending the blank-line terminator, and the
+	// oversized-body profile declares a content-length far beyond what it
+	// could ever deliver.
+	flood := []byte("GET /flood " + Proto + "\n:authority: flood.test\n")
+	for i := 0; i < 64; i++ {
+		flood = append(flood, []byte(fmt.Sprintf("x-flood-%06d: yyyyyyyyyyyyyyyy\n", i))...)
+	}
+	f.Add(flood) // no terminator
+	f.Add([]byte("GET /big " + Proto + "\n:authority: big.test\ncontent-length: 4194304\n\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ParseRequest(data)
 		if err != nil {

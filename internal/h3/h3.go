@@ -19,11 +19,30 @@ import (
 	"strings"
 )
 
-// Protocol identifier on the wire.
-const protoLine = "HTTP/3-lite"
+// Proto is the protocol identifier on the wire (the first token of every
+// request and response head). Exported so stream inspectors can recognise
+// an HTTP/3-lite response prefix without parsing it.
+const Proto = "HTTP/3-lite"
+
+const protoLine = Proto
+
+// MaxContentLength bounds the content-length a response may declare.
+// Honest simulated responses stay under a few hundred KB; a hostile
+// 2^62-style declaration must error before anything sizes a buffer to it.
+const MaxContentLength = 64 << 20
 
 // ErrMalformed reports an unparseable message.
 var ErrMalformed = errors.New("h3: malformed message")
+
+// ErrTooLong reports a message whose single line exceeded the scanner
+// buffer (bufio.Scanner token overflow). It always arrives wrapped in
+// ErrMalformed; match with errors.Is to distinguish a flooded header line
+// from ordinary malformed input.
+var ErrTooLong = errors.New("h3: line exceeds buffer limit")
+
+// ErrOversized reports a declared length beyond MaxContentLength. It
+// always arrives wrapped in ErrMalformed.
+var ErrOversized = errors.New("h3: declared length exceeds limit")
 
 // Request is an HTTP/3-lite request.
 type Request struct {
@@ -67,6 +86,9 @@ func ParseRequest(data []byte) (*Request, error) {
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, fmt.Errorf("%w: %w: reading request line", ErrMalformed, ErrTooLong)
+			}
 			return nil, fmt.Errorf("%w: reading request line: %v", ErrMalformed, err)
 		}
 		return nil, fmt.Errorf("%w: empty request", ErrMalformed)
@@ -110,6 +132,9 @@ func ParseResponse(data []byte) (*Response, error) {
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, fmt.Errorf("%w: %w: reading status line", ErrMalformed, ErrTooLong)
+			}
 			return nil, fmt.Errorf("%w: reading status line: %v", ErrMalformed, err)
 		}
 		return nil, fmt.Errorf("%w: empty response", ErrMalformed)
@@ -130,6 +155,12 @@ func ParseResponse(data []byte) (*Response, error) {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
 				clenErr = fmt.Errorf("%w: content-length %q", ErrMalformed, v)
+				return
+			}
+			if n > MaxContentLength {
+				// Reject before anyone trusts the declaration enough to
+				// allocate for it.
+				clenErr = fmt.Errorf("%w: %w: content-length %d", ErrMalformed, ErrOversized, n)
 				return
 			}
 			clen = n
@@ -175,6 +206,9 @@ func readHeaders(sc *bufio.Scanner, set func(k, v string)) error {
 	// A scanner error (e.g. a header line exceeding the buffer limit) must
 	// surface as a parse failure, not as a silently truncated header set.
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("%w: %w: reading headers", ErrMalformed, ErrTooLong)
+		}
 		return fmt.Errorf("%w: reading headers: %v", ErrMalformed, err)
 	}
 	return nil

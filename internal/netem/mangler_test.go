@@ -1,0 +1,76 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+// TestManglerRewrite checks the three mangler outcomes — swallow, rewrite,
+// and burst — and that ClearMangler restores pass-through.
+func TestManglerRewrite(t *testing.T) {
+	loop, n := newNet(PathConfig{Delay: time.Millisecond}, 1)
+	var got [][]byte
+	n.Attach("b", func(_ time.Time, _ string, data []byte) {
+		got = append(got, append([]byte(nil), data...))
+	})
+
+	n.SetMangler("a", func(data []byte) [][]byte {
+		switch data[0] {
+		case 'd': // drop
+			return nil
+		case 'x': // amplify into three rewritten copies
+			return [][]byte{{'X'}, {'X'}, {'X'}}
+		default:
+			return [][]byte{data}
+		}
+	})
+	n.Send("a", "b", []byte("d"))
+	n.Send("a", "b", []byte("x"))
+	n.Send("a", "b", []byte("p"))
+	loop.Run()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d datagrams, want 4 (3 amplified + 1 pass-through)", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if string(got[i]) != "X" {
+			t.Errorf("datagram %d = %q, want rewritten X", i, got[i])
+		}
+	}
+	if string(got[3]) != "p" {
+		t.Errorf("pass-through datagram = %q", got[3])
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Errorf("swallowed datagram not counted as dropped: %+v", st)
+	}
+
+	// Mangling is keyed by sender: traffic from other hosts is untouched.
+	var fromC []byte
+	n.Attach("d", func(_ time.Time, _ string, data []byte) { fromC = append([]byte(nil), data...) })
+	n.Send("c", "d", []byte("x"))
+	loop.Run()
+	if string(fromC) != "x" {
+		t.Errorf("unmangled sender rewritten: %q", fromC)
+	}
+
+	got = nil
+	n.ClearMangler("a")
+	n.Send("a", "b", []byte("x"))
+	loop.Run()
+	if len(got) != 1 || string(got[0]) != "x" {
+		t.Errorf("after ClearMangler got %q, want original pass-through", got)
+	}
+}
+
+// TestSetManglerNil checks that installing a nil mangler is a no-op rather
+// than a nil-dereference at send time.
+func TestSetManglerNil(t *testing.T) {
+	loop, n := newNet(PathConfig{}, 1)
+	var delivered int
+	n.Attach("b", func(time.Time, string, []byte) { delivered++ })
+	n.SetMangler("a", nil)
+	n.Send("a", "b", []byte{1})
+	loop.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+}

@@ -46,6 +46,13 @@ type Handler func(now time.Time, from string, data []byte)
 // observer sitting just in front of the receiver).
 type TapFunc func(now time.Time, from, to string, data []byte)
 
+// Mangler rewrites one datagram leaving a host into zero or more datagrams
+// before path impairments apply: returning nil swallows the datagram,
+// returning several emits a burst. Hostile-endpoint profiles
+// (internal/hostile) use this to inject protocol misbehavior on the wire
+// without touching the sending transport.
+type Mangler func(data []byte) [][]byte
+
 // Stats counts per-network datagram fates.
 type Stats struct {
 	Sent       int
@@ -77,6 +84,8 @@ type Network struct {
 	// are queues, so jitter delays packets but does not reorder them.
 	// Only ReorderRate-selected packets escape the clamp.
 	lastDelivery map[[2]string]time.Time
+	// manglers rewrite datagrams leaving a host (keyed by sender address).
+	manglers map[string]Mangler
 
 	// tm mirrors stats into shared campaign telemetry counters; the zero
 	// value (nil counters) is a no-op, so uninstrumented networks pay
@@ -115,6 +124,7 @@ func New(loop *sim.Loop, def PathConfig, rng *rand.Rand) *Network {
 		failFirst:    make(map[string]int),
 		outage:       make(map[string]bool),
 		lastDelivery: make(map[[2]string]time.Time),
+		manglers:     make(map[string]Mangler),
 	}
 }
 
@@ -195,6 +205,21 @@ func (n *Network) BeginAttempt(addr string) bool {
 // SetTap installs an observer called at each successful delivery.
 func (n *Network) SetTap(t TapFunc) { n.tap = t }
 
+// SetMangler installs a datagram rewriter on everything from sends. A nil
+// mangler is ignored. Campaign engines install one per hostile server and
+// must ClearMangler when the probe finishes.
+func (n *Network) SetMangler(from string, m Mangler) {
+	if m == nil {
+		return
+	}
+	n.manglers[from] = m
+}
+
+// ClearMangler removes the datagram rewriter of from, if any.
+func (n *Network) ClearMangler(from string) {
+	delete(n.manglers, from)
+}
+
 // SetRng replaces the random stream driving loss, jitter, reordering and
 // duplication decisions. Campaign engines reseed it at every domain so
 // path noise becomes a function of the scanned domain alone, independent
@@ -222,6 +247,25 @@ func (n *Network) Send(from, to string, data []byte) {
 		n.tm.dropped.Inc()
 		return
 	}
+	if m := n.manglers[from]; m != nil {
+		pieces := m(data)
+		if len(pieces) == 0 {
+			n.stats.Dropped++
+			n.tm.dropped.Inc()
+			return
+		}
+		for _, piece := range pieces {
+			n.transmit(from, to, piece)
+		}
+		return
+	}
+	n.transmit(from, to, data)
+}
+
+// transmit pushes one datagram through the path impairments (loss, delay,
+// jitter, FIFO/reorder, duplication) and schedules its delivery. The data
+// slice is copied here.
+func (n *Network) transmit(from, to string, data []byte) {
 	cfg := n.pathConfig(from, to)
 	if cfg.LossRate > 0 && n.rng.Float64() < cfg.LossRate {
 		n.stats.Dropped++

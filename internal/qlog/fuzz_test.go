@@ -2,6 +2,7 @@ package qlog
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -41,6 +42,17 @@ func FuzzQlogParse(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte{})
 	f.Add([]byte("{\"qlog_version\":\"0.4\"}\n{\"name\":\"" + strings.Repeat("x", 512) + "\"}"))
+	// Hostile-profile shape: the qlog-garbage profile starts with a
+	// plausible trace header, then streams RS-framed records that truncate
+	// mid-object and finally decay into raw binary junk.
+	garbage := []byte("{\"qlog_version\":\"0.3\",\"vantage_point\":\"server\"}\n")
+	for i := 0; i < 8; i++ {
+		garbage = append(garbage, 0x1e)
+		garbage = append(garbage, []byte(fmt.Sprintf("{\"time\":%d,\"name\":\"transport:pa", i))...)
+		garbage = append(garbage, '\n')
+	}
+	garbage = append(garbage, 0x00, 0xff, 0x1e, 0x80, 0x7f, 0x00)
+	f.Add(garbage)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Parse(bytes.NewReader(data))
 		if err != nil {

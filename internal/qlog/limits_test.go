@@ -1,0 +1,24 @@
+package qlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseRecordTooLong checks that a single trace record beyond the
+// 16 MiB line buffer (qlog-garbage shape) surfaces as a structured
+// ErrTooLong instead of a bare bufio error or an unbounded allocation.
+func TestParseRecordTooLong(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString(`{"qlog_version":"0.4","vantage_point":"client"}` + "\n")
+	b.WriteString(`{"name":"` + strings.Repeat("x", maxRecordBytes+1024) + `"}` + "\n")
+	tr, err := Parse(&b)
+	if tr != nil {
+		t.Fatal("trace returned alongside an error")
+	}
+	if !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -19,6 +20,13 @@ import (
 
 // Version is the qlog_version emitted in trace headers.
 const Version = "0.4"
+
+// maxRecordBytes is the largest single trace record Parse accepts.
+const maxRecordBytes = 16 * 1024 * 1024
+
+// ErrTooLong reports a trace record exceeding maxRecordBytes (a hostile or
+// corrupt trace whose line never ends). Match with errors.Is.
+var ErrTooLong = errors.New("qlog: record exceeds line buffer")
 
 // Event names used by this library (a subset of the qlog event catalogue).
 const (
@@ -224,7 +232,7 @@ func (w *Writer) Err() error { return w.err }
 // accepting both RS-framed JSON-SEQ and plain NDJSON.
 func Parse(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
 	var tr Trace
 	first := true
 	for sc.Scan() {
@@ -252,6 +260,12 @@ func Parse(r io.Reader) (*Trace, error) {
 		tr.Events = append(tr.Events, ev)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// A record exceeding the 16 MiB line buffer is a structured,
+			// classifiable condition (hostile or corrupt trace), not a
+			// silently truncated parse.
+			return nil, fmt.Errorf("%w: record exceeds %d bytes", ErrTooLong, maxRecordBytes)
+		}
 		return nil, fmt.Errorf("qlog: read: %w", err)
 	}
 	if first {

@@ -52,6 +52,11 @@ const (
 	ClassPanic
 	// ClassBreakerOpen marks a domain skipped by an open circuit breaker.
 	ClassBreakerOpen
+	// ClassHostile marks an endpoint classified as deliberately misbehaving
+	// (protocol violations, floods, exceeded resource budgets) — permanent:
+	// never retried, and never charged against the per-AS breaker (the host
+	// answered; it is broken, not unreachable).
+	ClassHostile
 	// ClassOther is any unrecognised failure — permanent.
 	ClassOther
 )
@@ -79,6 +84,8 @@ func (c Class) String() string {
 		return "panic"
 	case ClassBreakerOpen:
 		return "breaker"
+	case ClassHostile:
+		return "hostile"
 	default:
 		return "other"
 	}
@@ -101,6 +108,10 @@ func Classify(s string) Class {
 		return ClassStall
 	case strings.HasPrefix(s, "breaker:"):
 		return ClassBreakerOpen
+	case strings.HasPrefix(s, "hostile:"):
+		// Must precede the substring checks: hostile classes may mention
+		// resets or packets without being any of those failures.
+		return ClassHostile
 	case strings.Contains(s, "NXDOMAIN"):
 		return ClassNXDomain
 	case strings.Contains(s, "no record"):

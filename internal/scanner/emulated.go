@@ -1,6 +1,8 @@
 package scanner
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -8,6 +10,7 @@ import (
 
 	"quicspin/internal/dns"
 	"quicspin/internal/h3"
+	"quicspin/internal/hostile"
 	"quicspin/internal/netem"
 	"quicspin/internal/sim"
 	"quicspin/internal/targets"
@@ -118,9 +121,20 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 		path := e.world.PathConfig(srv)
 		e.net.SetSymmetricPath(clientAddr, serverAddr, path)
 	}
+	// Wire-level misbehavior: a fresh per-connection mangler on the
+	// server's outbound traffic (nil for well-behaved and site-level
+	// hostile profiles).
+	hostileProfile := hostile.None
+	if srv != nil && srv.QUIC {
+		hostileProfile = srv.Hostile
+	}
+	if m := hostile.NewMangler(hostileProfile); m != nil {
+		e.net.SetMangler(serverAddr, m)
+		defer e.net.ClearMangler(serverAddr)
+	}
 
 	start := e.loop.Now()
-	conn := transport.NewClientConn(transport.Config{Rng: e.rng}, start)
+	conn := transport.NewClientConn(transport.Config{Rng: e.rng, Budget: transport.DefaultBudget()}, start)
 	client := netem.NewClientHost(e.net, clientAddr, serverAddr, conn)
 	client.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
 	hc := h3.NewClientConn(conn)
@@ -137,12 +151,32 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	var hsAt time.Time // virtual handshake-completion instant (stage span)
 	var resp *h3.Response
 	var respErr error
+	verdict := hostile.None
+	inspected := false // response head vetted: no further inspection needed
 	client.OnActivity = func(c *transport.Conn, now time.Time) {
 		if hsAt.IsZero() && c.HandshakeComplete() {
 			hsAt = now
 		}
 		if done {
 			return
+		}
+		// Graceful degradation: inspect the partial response stream on
+		// every delivery, so a hostile response (flood, oversize, garbage)
+		// is classified from its wire signature instead of being read to
+		// completion — or forever.
+		if !inspected {
+			if data, _ := c.StreamRecv(reqID); len(data) > 0 {
+				verdict = hostile.InspectStream(data)
+				if verdict != hostile.None {
+					done = true
+					return
+				}
+				// Once the header block has terminated acceptably, nothing
+				// later in the body can change the verdict.
+				if bytes.Contains(data, []byte("\n\n")) {
+					inspected = true
+				}
+			}
 		}
 		if r, complete, err := hc.Response(reqID); complete {
 			done, resp, respErr = true, r, err
@@ -199,12 +233,30 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 		out.Observations = append(out.Observations, obs...)
 	}
 	out.StackRTTs = append(out.StackRTTs, conn.RTT().Samples()...)
+	var be *transport.BudgetError
 	switch {
+	case errors.As(conn.TermError(), &be):
+		// A tripped resource budget wins over everything else: the scan was
+		// aborted deliberately, whatever else was in flight.
+		out.Err = hostile.BudgetErrText(be.Kind)
+		e.tm.bumpBudget(be.Kind)
+	case verdict != hostile.None:
+		out.Err = hostile.ErrText(verdict)
+	case resp == nil && out.QUIC && remoteClose(conn):
+		out.Err = hostile.ErrText(hostile.MidstreamReset)
+	case resp == nil && !out.QUIC && conn.Stats().PacketsReceived > 0:
+		// A lost honest handshake leaves PacketsReceived at zero (the SHLO
+		// flight is one coalesced datagram); parseable packets without a
+		// completed handshake mean the peer is stringing us along.
+		out.Err = hostile.ErrText(hostile.Slowloris)
 	case resp != nil:
 		out.Status = resp.Status
 		out.Server = resp.Server()
 		if resp.IsRedirect() {
 			out.Redirect = resp.Location()
+		}
+		if p := hostile.DetectSpinPattern(obs); p != hostile.None {
+			out.Err = hostile.ErrText(p)
 		}
 	case respErr != nil:
 		out.Err = respErr.Error()
@@ -219,6 +271,13 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	client.Close()
 	e.net.ClearPath(clientAddr, serverAddr)
 	return out
+}
+
+// remoteClose reports whether the connection was terminated by a peer
+// CONNECTION_CLOSE (as opposed to a local close or timeout).
+func remoteClose(conn *transport.Conn) bool {
+	te, ok := conn.TermError().(*transport.TransportError)
+	return ok && te.Remote
 }
 
 // site returns (building on demand) the worker-local server stack for ip.
@@ -264,13 +323,26 @@ func (e *emulatedEngine) site(ip netip.Addr, srv *websim.Server) *serverSite {
 					continue
 				}
 				seen[id] = true
+				// Site-level hostile behavior: replace the application
+				// response with the profile's pathological payload.
+				switch srv.Hostile {
+				case hostile.OversizedBody, hostile.HeaderFlood, hostile.QlogGarbage:
+					e.hostileResponse(host, srv, conn, id)
+					continue
+				}
 				var resp *h3.Response
 				if req, err := h3.ParseRequest(data); err != nil {
 					resp = &h3.Response{Status: 400, Headers: map[string]string{"server": srv.Software}}
 				} else {
 					resp = buildResponse(world, srv, req)
 				}
-				e.streamResponse(host, srv, conn, id, h3.EncodeResponse(resp))
+				enc := h3.EncodeResponse(resp)
+				if srv.Hostile == hostile.MidstreamReset {
+					// Send half the response, then slam the door.
+					e.midstreamReset(host, srv, conn, id, enc)
+					continue
+				}
+				e.streamResponse(host, srv, conn, id, enc)
 			}
 		}
 	}
@@ -296,6 +368,42 @@ func (e *emulatedEngine) streamResponse(host *netem.ServerHost, srv *websim.Serv
 			host.Kick()
 		})
 	}
+}
+
+// hostileResponse streams the profile's pathological payload after the
+// site's usual time-to-first-byte, never finishing the stream (the scanner
+// must classify from the partial head, not wait it out).
+func (e *emulatedEngine) hostileResponse(host *netem.ServerHost, srv *websim.Server, conn *transport.Conn, id uint64) {
+	data := hostile.ResponseBytes(srv.Hostile, srv.Software)
+	ttfb := srv.ProcessingDelay(e.rng)
+	e.loop.After(ttfb, func(time.Time) {
+		if conn.Terminating() {
+			return
+		}
+		_ = conn.SendStream(id, data, false)
+		host.Kick()
+	})
+}
+
+// midstreamReset streams the first half of an honest response, then closes
+// the connection with an application error before the body completes.
+func (e *emulatedEngine) midstreamReset(host *netem.ServerHost, srv *websim.Server, conn *transport.Conn, id uint64, enc []byte) {
+	ttfb := srv.ProcessingDelay(e.rng)
+	half := enc[:len(enc)/2]
+	e.loop.After(ttfb, func(time.Time) {
+		if conn.Terminating() {
+			return
+		}
+		_ = conn.SendStream(id, half, false)
+		host.Kick()
+	})
+	e.loop.After(ttfb+100*time.Millisecond, func(now time.Time) {
+		if conn.Terminating() {
+			return
+		}
+		conn.Close(now, 0x10, "internal error")
+		host.Kick()
+	})
 }
 
 // buildResponse renders the landing page (or redirect) for a request, with

@@ -7,7 +7,9 @@ import (
 
 	"quicspin/internal/core"
 	"quicspin/internal/dns"
+	"quicspin/internal/hostile"
 	"quicspin/internal/targets"
+	"quicspin/internal/transport"
 	"quicspin/internal/websim"
 )
 
@@ -87,7 +89,23 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string)
 		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
 		return out
 	}
+	if srv.Hostile == hostile.Slowloris {
+		// The slowloris peer strings the handshake along without ever
+		// completing it: the scan burns the full timeout, handshake-less.
+		out.Err = hostile.ErrText(hostile.Slowloris)
+		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
+		return out
+	}
 	out.QUIC = true
+	switch srv.Hostile {
+	case hostile.MalformedHeader, hostile.MalformedFrames, hostile.PacketStorm,
+		hostile.OversizedBody, hostile.HeaderFlood, hostile.QlogGarbage,
+		hostile.MidstreamReset:
+		// Post-handshake misbehavior: the scan completes the handshake but
+		// never obtains a usable response (QUIC=true, Status=0), matching
+		// the emulated engine's graceful degradation.
+		return e.hostileOutcome(out, srv)
+	}
 
 	rtt := e.pathRTT(srv)
 	// Stack samples: one per handshake flight plus data-phase samples,
@@ -123,6 +141,34 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string)
 	e.tm.stHandshake.Start(e.now).End(hsAt)
 	e.tm.stRequest.Start(hsAt).End(hsAt.Add(lastAt))
 	e.tm.stTotal.Start(e.now).End(hsAt.Add(lastAt))
+	return out
+}
+
+// hostileOutcome models a post-handshake hostile exchange: profiles that
+// characteristically trip a per-connection resource budget report the
+// budget's error text (and bump its counter) like the emulated transport
+// does; the rest carry the profile's canonical hostile error.
+func (e *fastEngine) hostileOutcome(out ConnResult, srv *websim.Server) ConnResult {
+	switch srv.Hostile {
+	case hostile.MalformedHeader:
+		out.Err = hostile.BudgetErrText(transport.BudgetMalformedDatagram)
+		e.tm.bumpBudget(transport.BudgetMalformedDatagram)
+	case hostile.MalformedFrames:
+		out.Err = hostile.BudgetErrText(transport.BudgetMalformedFrame)
+		e.tm.bumpBudget(transport.BudgetMalformedFrame)
+	case hostile.PacketStorm:
+		out.Err = hostile.BudgetErrText(transport.BudgetRecvPackets)
+		e.tm.bumpBudget(transport.BudgetRecvPackets)
+	default:
+		out.Err = hostile.ErrText(srv.Hostile)
+	}
+	// Stage spans: handshake at ~1.5 RTT as usual, and roughly one more
+	// round trip until the degradation cutoff.
+	rtt := e.pathRTT(srv)
+	hsAt := e.now.Add(3 * rtt / 2)
+	e.tm.stHandshake.Start(e.now).End(hsAt)
+	e.tm.stRequest.Start(hsAt).End(hsAt.Add(rtt))
+	e.tm.stTotal.Start(e.now).End(hsAt.Add(rtt))
 	return out
 }
 
@@ -193,6 +239,14 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 		case core.ModeGreasePerConn:
 			v = greaseVal
 		}
+		// Spin liars override the policy's value with their synthetic wire
+		// pattern (after the switch, so rng draws stay identical).
+		switch srv.Hostile {
+		case hostile.SpinFlap:
+			v = pn%2 == 1
+		case hostile.SpinLiar:
+			v = (pn/2)%2 == 1
+		}
 		ob := core.Observation{T: base.Add(at), PN: pn, Spin: v}
 		pn++
 		if v {
@@ -201,6 +255,11 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 			out.ZeroPkts++
 		}
 		out.Observations = append(out.Observations, ob)
+	}
+	// Run the same pure spin-pattern detector the emulated engine applies,
+	// before the no-flip discard (the detector needs the series).
+	if p := hostile.DetectSpinPattern(out.Observations); p != hostile.None {
+		out.Err = hostile.ErrText(p)
 	}
 	if !out.HasFlips() && !e.cfg.KeepAllObservations {
 		out.Observations = nil

@@ -3,7 +3,9 @@ package scanner
 import (
 	"strings"
 
+	"quicspin/internal/hostile"
 	"quicspin/internal/telemetry"
+	"quicspin/internal/transport"
 )
 
 // Campaign metric names (Prometheus families; see README "Observability").
@@ -33,6 +35,11 @@ import (
 //	domains_resumed_total               domains replayed from a checkpoint
 //	checkpoint_errors_total             journal write failures (scan continues)
 //
+// Hostile-endpoint metric names (see README "Hostile endpoints").
+//
+//	hostile_detected_total{profile}     connections classified hostile
+//	budget_exceeded_total{kind}         per-connection resource budget trips
+//
 // Connection error classes.
 const (
 	errClassDNS     = "dns"
@@ -42,12 +49,21 @@ const (
 	errClassPanic   = "panic"
 	errClassStall   = "stall"
 	errClassBreaker = "breaker"
+	errClassHostile = "hostile"
 	errClassOther   = "other"
 )
 
 var errClasses = []string{
 	errClassDNS, errClassTimeout, errClassReset, errClassH3,
-	errClassPanic, errClassStall, errClassBreaker, errClassOther,
+	errClassPanic, errClassStall, errClassBreaker, errClassHostile,
+	errClassOther,
+}
+
+// budgetKinds enumerates the budget_exceeded_total label values.
+var budgetKinds = []string{
+	transport.BudgetRecvBytes, transport.BudgetRecvPackets,
+	transport.BudgetMalformedDatagram, transport.BudgetMalformedFrame,
+	transport.BudgetLifetime,
 }
 
 // errClass buckets a ConnResult.Err string for the error-class counters.
@@ -59,6 +75,8 @@ func errClass(s string) string {
 		return errClassStall
 	case strings.HasPrefix(s, "breaker:"):
 		return errClassBreaker
+	case strings.HasPrefix(s, "hostile:"):
+		return errClassHostile
 	case strings.HasPrefix(s, "timeout"):
 		return errClassTimeout
 	case strings.Contains(s, "reset") || strings.Contains(s, "closed"):
@@ -92,6 +110,9 @@ type scanTelemetry struct {
 	breakerProbes    *telemetry.Counter
 	resumed          *telemetry.Counter
 	checkpointErrors *telemetry.Counter
+
+	hostileDetected map[string]*telemetry.Counter
+	budgetExceeded  map[string]*telemetry.Counter
 }
 
 func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
@@ -122,11 +143,26 @@ func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
 		breakerProbes:    reg.Counter("breaker_probes_total"),
 		resumed:          reg.Counter("domains_resumed_total"),
 		checkpointErrors: reg.Counter("checkpoint_errors_total"),
+		hostileDetected:  map[string]*telemetry.Counter{},
+		budgetExceeded:   map[string]*telemetry.Counter{},
 	}
 	for _, class := range errClasses {
 		t.errs[class] = reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", class))
 	}
+	for _, p := range hostile.Profiles() {
+		t.hostileDetected[p.String()] = reg.Counter(telemetry.Name("hostile_detected_total", "profile", p.String()))
+	}
+	for _, kind := range budgetKinds {
+		t.budgetExceeded[kind] = reg.Counter(telemetry.Name("budget_exceeded_total", "kind", kind))
+	}
 	return t
+}
+
+// bumpBudget tallies one tripped per-connection resource budget.
+func (t *scanTelemetry) bumpBudget(kind string) {
+	if c, ok := t.budgetExceeded[kind]; ok {
+		c.Inc()
+	}
 }
 
 // recordDomain tallies one finished domain scan (and its connections).
@@ -155,6 +191,11 @@ func (t *scanTelemetry) recordDomain(d *DomainResult) {
 		}
 		if c.Err != "" {
 			t.errs[errClass(c.Err)].Inc()
+			if p := hostile.ProfileOf(c.Err); p != hostile.None {
+				if hc, ok := t.hostileDetected[p.String()]; ok {
+					hc.Inc()
+				}
+			}
 		}
 	}
 }

@@ -76,6 +76,9 @@ type Config struct {
 	// multi-packet responses across round trips — which is what makes the
 	// spin bit flip during a download. Zero means DefaultMaxInFlight.
 	MaxInFlight int
+	// Budget bounds resources spent on received traffic (see Budget). The
+	// zero value disables all limits.
+	Budget Budget
 }
 
 // DefaultMaxInFlight is the default in-flight packet cap (the 10-packet

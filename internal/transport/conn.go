@@ -36,6 +36,12 @@ const (
 // ErrConnectionClosed is returned by operations on a terminated connection.
 var ErrConnectionClosed = errors.New("transport: connection closed")
 
+// maxStreamOffset bounds the stream and crypto offsets a peer may declare.
+// RFC 9000 allows offsets up to 2^62−1, but accepting them would let a
+// hostile peer make the reassembly buffers track absurd ranges; nothing an
+// honest peer of this scanner sends comes near 1 GiB.
+const maxStreamOffset = 1 << 30
+
 // TransportError mirrors a received CONNECTION_CLOSE.
 type TransportError struct {
 	Code   uint64
@@ -112,6 +118,14 @@ type Conn struct {
 	closeFrame *wire.ConnectionCloseFrame
 	closeSent  bool
 	termErr    error
+
+	// Resource-budget accounting (see Budget). budgetTripped latches the
+	// first exceeded budget: the terminal error survives later closes and
+	// all further received traffic is refused at the door.
+	budgetTripped      bool
+	malformedDatagrams int
+	malformedFrames    int
+	firstRecv          time.Time
 
 	stats Stats
 }
@@ -263,7 +277,21 @@ func (c *Conn) Receive(now time.Time, datagram []byte) error {
 	if c.state == stateClosed {
 		return ErrConnectionClosed
 	}
+	if c.budgetTripped {
+		return c.termErr
+	}
+	b := c.cfg.Budget
 	c.stats.BytesReceived += len(datagram)
+	if b.MaxRecvBytes > 0 && c.stats.BytesReceived > b.MaxRecvBytes {
+		return c.tripBudget(now, BudgetRecvBytes, int64(b.MaxRecvBytes))
+	}
+	if b.MaxLifetime > 0 {
+		if c.firstRecv.IsZero() {
+			c.firstRecv = now
+		} else if now.Sub(c.firstRecv) > b.MaxLifetime {
+			return c.tripBudget(now, BudgetLifetime, int64(b.MaxLifetime))
+		}
+	}
 	c.idleDeadline = now.Add(c.cfg.idleTimeout())
 	rest := datagram
 	for len(rest) > 0 {
@@ -275,11 +303,18 @@ func (c *Conn) Receive(now time.Time, datagram []byte) error {
 		}
 		hdr, payload, consumed, err := wire.ParseHeader(rest, c.scid.Len(), largest)
 		if err != nil {
+			c.malformedDatagrams++
+			if b.MaxMalformed > 0 && c.malformedDatagrams > b.MaxMalformed {
+				return c.tripBudget(now, BudgetMalformedDatagram, int64(b.MaxMalformed))
+			}
 			return fmt.Errorf("transport: parsing packet: %w", err)
 		}
 		rest = rest[consumed:]
 		if err := c.handlePacket(now, hdr, payload); err != nil {
 			return err
+		}
+		if c.budgetTripped {
+			return c.termErr
 		}
 	}
 	return nil
@@ -311,9 +346,16 @@ func (c *Conn) handlePacket(now time.Time, hdr *wire.Header, payload []byte) err
 	}
 	frames, err := wire.ParseFrames(payload)
 	if err != nil {
+		c.malformedFrames++
+		if b := c.cfg.Budget; b.MaxMalformed > 0 && c.malformedFrames > b.MaxMalformed {
+			return c.tripBudget(now, BudgetMalformedFrame, int64(b.MaxMalformed))
+		}
 		return fmt.Errorf("transport: %s packet %d: %w", sp, hdr.PacketNumber, err)
 	}
 	c.stats.PacketsReceived++
+	if b := c.cfg.Budget; b.MaxRecvPackets > 0 && c.stats.PacketsReceived > b.MaxRecvPackets {
+		return c.tripBudget(now, BudgetRecvPackets, int64(b.MaxRecvPackets))
+	}
 
 	if hdr.IsLong && c.isClient && !c.gotPeer {
 		// Learn the server's chosen SCID from its first packet.
@@ -370,10 +412,16 @@ func (c *Conn) handleFrame(now time.Time, sp spaceID, f wire.Frame) error {
 		c.handleAck(now, sp, fr)
 		return nil
 	case *wire.CryptoFrame:
+		if fr.Offset > maxStreamOffset {
+			return fmt.Errorf("transport: CRYPTO offset %d exceeds limit", fr.Offset)
+		}
 		c.cryptoRecv[sp].push(fr.Offset, fr.Data, false)
 		c.advanceHandshake(now)
 		return nil
 	case *wire.StreamFrame:
+		if fr.Offset > maxStreamOffset {
+			return fmt.Errorf("transport: STREAM %d offset %d exceeds limit", fr.StreamID, fr.Offset)
+		}
 		r := c.streamsRecv[fr.StreamID]
 		if r == nil {
 			r = &recvStream{}

@@ -1,0 +1,80 @@
+package websim
+
+import (
+	"testing"
+
+	"quicspin/internal/hostile"
+)
+
+// TestHostileFracZeroIdentity checks that hostile assignment is draw-free:
+// a HostileFrac=0 world and a HostileFrac>0 world from the same seed are
+// identical in every non-Hostile respect, so enabling the chaos knob
+// cannot perturb the simulated population itself.
+func TestHostileFracZeroIdentity(t *testing.T) {
+	base := DefaultProfile()
+	base.Scale = 20_000
+	clean := Generate(base)
+
+	chaotic := base
+	chaotic.HostileFrac = 0.3
+	dirty := Generate(chaotic)
+
+	for _, s := range clean.Servers() {
+		if s.Hostile != hostile.None {
+			t.Fatalf("server %s hostile in a frac=0 world: %s", s.Addr, s.Hostile)
+		}
+	}
+	if len(clean.Domains) != len(dirty.Domains) {
+		t.Fatalf("domain count diverged: %d vs %d", len(clean.Domains), len(dirty.Domains))
+	}
+	if len(clean.Servers()) != len(dirty.Servers()) {
+		t.Fatalf("server count diverged: %d vs %d", len(clean.Servers()), len(dirty.Servers()))
+	}
+	for addr, cs := range clean.Servers() {
+		ds := dirty.ServerAt(addr)
+		if ds == nil {
+			t.Fatalf("server %s missing from the hostile world", addr)
+		}
+		if cs.QUIC != ds.QUIC || cs.Mode != ds.Mode || cs.Software != ds.Software ||
+			cs.BaseRTT != ds.BaseRTT || cs.DisableEveryN != ds.DisableEveryN ||
+			cs.SpinFromWeek != ds.SpinFromWeek || cs.SpinToWeek != ds.SpinToWeek {
+			t.Fatalf("server %s diverged beyond the Hostile field:\n clean: %+v\n dirty: %+v", addr, cs, ds)
+		}
+	}
+}
+
+// TestHostileFracAssignment checks the assignment respects the QUIC-only
+// rule and lands near the requested fraction.
+func TestHostileFracAssignment(t *testing.T) {
+	prof := DefaultProfile()
+	prof.Scale = 5_000
+	prof.HostileFrac = 0.3
+	world := Generate(prof)
+
+	quicN, hostileN := 0, 0
+	for _, s := range world.Servers() {
+		if !s.QUIC {
+			if s.Hostile != hostile.None {
+				t.Fatalf("non-QUIC server %s assigned profile %s", s.Addr, s.Hostile)
+			}
+			continue
+		}
+		quicN++
+		if s.Hostile != hostile.None {
+			hostileN++
+		}
+	}
+	if quicN == 0 {
+		t.Fatal("no QUIC servers generated; test is vacuous")
+	}
+	if hostileN == 0 {
+		t.Fatalf("no hostile servers among %d QUIC servers at frac 0.3", quicN)
+	}
+	// v6 clones inherit their v4 twin's profile rather than drawing
+	// independently, so the share is looser than Assign's own uniformity:
+	// just require it lands in a broad band around the requested fraction.
+	share := float64(hostileN) / float64(quicN)
+	if share < 0.10 || share > 0.55 {
+		t.Errorf("hostile share %.2f (%d/%d), want within [0.10, 0.55] of frac 0.3", share, hostileN, quicN)
+	}
+}

@@ -142,6 +142,13 @@ type Profile struct {
 	// hosts; without it the grease filter misfires on exact ties.
 	TurnaroundMinMs, TurnaroundMaxMs float64
 
+	// HostileFrac assigns this fraction of QUIC-capable servers a
+	// deterministic misbehavior profile (internal/hostile). Assignment is
+	// hash-based and draws nothing from the generator's random streams, so
+	// a zero fraction produces worlds byte-identical to ones generated
+	// before hostile profiles existed.
+	HostileFrac float64
+
 	// QUICOrgs hosts QUIC-capable domains; LegacyOrgs host the rest.
 	QUICOrgs   []OrgProfile
 	LegacyOrgs []OrgProfile

@@ -10,6 +10,7 @@ import (
 	"quicspin/internal/asdb"
 	"quicspin/internal/core"
 	"quicspin/internal/dns"
+	"quicspin/internal/hostile"
 	"quicspin/internal/netem"
 	"quicspin/internal/targets"
 )
@@ -125,6 +126,9 @@ type Server struct {
 	// which a ModeSpin deployment is actually present; outside the window
 	// the server behaves like ModeZero (deployment churn, Fig. 2).
 	SpinFromWeek, SpinToWeek int
+	// Hostile is the endpoint-misbehavior profile of this deployment
+	// (hostile.None for the well-behaved majority).
+	Hostile hostile.Profile
 }
 
 // PolicyForWeek returns the transport spin policy of this server in the
@@ -483,6 +487,11 @@ func (w *World) serverFor(rng *rand.Rand, org *Org, addr netip.Addr, quic bool) 
 		} else {
 			s.SpinToWeek = 1 + rng.Intn(weeks-1) // dropped after week 1..weeks-1
 		}
+	}
+	// Hash-based, draw-free assignment: a HostileFrac of 0 consumes no
+	// randomness and leaves the world byte-identical to pre-hostile builds.
+	if w.Profile.HostileFrac > 0 && s.QUIC {
+		s.Hostile = hostile.Assign(w.Profile.Seed, addr.String(), w.Profile.HostileFrac)
 	}
 	w.servers[addr] = s
 	return s

@@ -273,6 +273,13 @@ func parseAckFrame(b []byte) (Frame, int, error) {
 	if firstRange > largest {
 		return nil, 0, fmt.Errorf("%w: ACK first range %d exceeds largest %d", ErrInvalidFrame, firstRange, largest)
 	}
+	// Every additional range costs at least two varint bytes on the wire,
+	// so validate the declared count against the remaining buffer before
+	// looping: a hostile 2^62-style count must fail here, not after
+	// appending ranges until the buffer runs dry.
+	if rangeCount > uint64(len(b)-pos)/2 {
+		return nil, 0, fmt.Errorf("%w: ACK range count %d exceeds remaining %d bytes", ErrInvalidFrame, rangeCount, len(b)-pos)
+	}
 	f := &AckFrame{
 		DelayMicros: delay << AckDelayExponent,
 		Ranges:      []AckRange{{Smallest: largest - firstRange, Largest: largest}},

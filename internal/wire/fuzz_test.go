@@ -83,6 +83,19 @@ func FuzzShortHeader(f *testing.F) {
 	f.Add([]byte{0x40, 0x00}, 21, uint64(NoAckedPacket)) // dcidLen beyond the RFC cap
 	f.Add([]byte{0x40, 0x00}, -1, uint64(NoAckedPacket)) // negative dcidLen
 	f.Add([]byte{0x43, 0x01}, 4, uint64(2))              // 4-byte PN, truncated
+	// Hostile-profile shapes: the malformed-header mangler truncates every
+	// short-header datagram to its first three bytes, and the spin manglers
+	// rewrite the spin bit in place on otherwise-valid packets.
+	f.Add(fuzzSeedShortHeader(f, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 42, false)[:3], 8, uint64(41))
+	flap := fuzzSeedShortHeader(f, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 9, false)
+	flap[0] |= SpinBitMask // spin-flap rewrite: spin follows PN parity
+	f.Add(flap, 8, uint64(8))
+	// Malformed-frames shape: valid short header whose first payload byte
+	// is the reserved frame type 0x1f.
+	badFrame := &Header{DstConnID: NewConnectionID([]byte{1, 2, 3, 4, 5, 6, 7, 8}), PacketNumber: 5, Reserved: 3}
+	if b, err := AppendShortHeader(nil, badFrame, []byte{0x1f}, NoAckedPacket); err == nil {
+		f.Add(b, 8, uint64(4))
+	}
 	f.Fuzz(func(t *testing.T, data []byte, dcidLen int, largest uint64) {
 		hdr, payload, consumed, err := ParseHeader(data, dcidLen, largest)
 		if err != nil {
@@ -118,6 +131,11 @@ func FuzzLongHeader(f *testing.F) {
 	f.Add(fuzzSeedLongHeader(f, TypeInitial, nil, crypto))
 	f.Add([]byte{0xc0, 0x00, 0x00, 0x00, 0x01})       // truncated after version
 	f.Add([]byte{0xc0, 0x00, 0x00, 0x00, 0x01, 0x15}) // CID length 21
+	// Hostile-profile shapes: the slowloris mangler answers every long
+	// header with a padding-only Handshake packet, and the malformed-frames
+	// profile leaves reserved frame type 0x1f in otherwise-valid payloads.
+	f.Add(fuzzSeedLongHeader(f, TypeHandshake, nil, (&PaddingFrame{N: 20}).Append(nil)))
+	f.Add(fuzzSeedLongHeader(f, TypeInitial, nil, []byte{0x1f}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hdr, payload, consumed, err := ParseHeader(data, 0, NoAckedPacket)
 		if err != nil || !hdr.IsLong {

@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAckRangeCountGuard checks that a hostile ACK frame declaring an
+// enormous range count fails validation against the remaining buffer
+// instead of looping (and allocating) until the bytes run dry.
+func TestAckRangeCountGuard(t *testing.T) {
+	b := []byte{FrameTypeAck}
+	b = AppendVarint(b, 1000)  // largest acked
+	b = AppendVarint(b, 0)     // delay
+	b = AppendVarint(b, 1<<40) // declared range count: absurd
+	b = AppendVarint(b, 1)     // first range
+	b = append(b, 0x00, 0x00)  // two bytes: room for one real range at most
+	_, _, err := parseAckFrame(b)
+	if !errors.Is(err, ErrInvalidFrame) {
+		t.Fatalf("err = %v, want ErrInvalidFrame", err)
+	}
+
+	// A count that matches the bytes actually present still parses.
+	ok := []byte{FrameTypeAck}
+	ok = AppendVarint(ok, 1000)
+	ok = AppendVarint(ok, 0)
+	ok = AppendVarint(ok, 1) // one extra range
+	ok = AppendVarint(ok, 1) // first range
+	ok = AppendVarint(ok, 2) // gap
+	ok = AppendVarint(ok, 3) // length
+	f, _, err := parseAckFrame(ok)
+	if err != nil {
+		t.Fatalf("well-formed ACK rejected: %v", err)
+	}
+	if ack := f.(*AckFrame); len(ack.Ranges) != 2 {
+		t.Fatalf("ranges = %d, want 2", len(ack.Ranges))
+	}
+}

@@ -79,4 +79,22 @@ if ! diff -u "$tmp/reference.txt" "$tmp/resumed.txt"; then
     exit 1
 fi
 
+# Hostile chaos smoke: both engines must survive a 30 %-hostile world at
+# the CLI level — exit 0, non-empty adoption tables, and the hostile error
+# classes rendered in Table 5. The in-process chaos test covers the
+# semantics; this catches CLI wiring regressions (flag parsing, rendering).
+echo "== hostile chaos smoke"
+for eng in emulated fast; do
+    "$tmp/spinscan" -scale 5000 -hostile-frac 0.3 -engine "$eng" -progress 0 \
+        2>/dev/null >"$tmp/hostile-$eng.txt"
+    if ! grep -q "Table 1" "$tmp/hostile-$eng.txt"; then
+        echo "hostile chaos run ($eng) produced no adoption tables" >&2
+        exit 1
+    fi
+    if ! grep -q "hostile: " "$tmp/hostile-$eng.txt"; then
+        echo "hostile chaos run ($eng) rendered no hostile error classes" >&2
+        exit 1
+    fi
+done
+
 echo "OK"
