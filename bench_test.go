@@ -192,6 +192,11 @@ func accuracySets() []analysis.AccuracySet {
 // defences against reordering-induced bogus samples (DESIGN.md §5): raw
 // edges, the packet-number guard, and the RFC 9312 heuristics.
 func BenchmarkAblation_ObserverFilters(b *testing.B) {
+	// A locally seeded rng (never the global math/rand source, which
+	// test-order shuffling would perturb) keeps the injected reordering
+	// pattern — and so the reported bogus-sample counts — identical across
+	// runs. The whole repo follows this convention; nothing seeds or draws
+	// from the global source.
 	rng := rand.New(rand.NewSource(11))
 	obs := reorderedWave(rng, 100*time.Millisecond, 200, 8, 0.05)
 	cases := []struct {
@@ -243,6 +248,32 @@ func BenchmarkAblation_ConnectionLength(b *testing.B) {
 				ratio = spinAccuracyForBody(kb * 1000)
 			}
 			b.ReportMetric(ratio, "spin/stack-ratio")
+		})
+	}
+}
+
+// BenchmarkCampaign measures end-to-end campaign throughput of both
+// engines over the QUICSPIN_SCALE population. domains/sec is the headline
+// number of BENCH_PR5.json (see scripts/bench.sh); allocs/op and B/op track
+// the memory cost of one full weekly scan.
+func BenchmarkCampaign(b *testing.B) {
+	prof := websim.DefaultProfile()
+	prof.Scale = benchScale()
+	w := websim.Generate(prof)
+	for _, eng := range []struct {
+		name string
+		e    scanner.Engine
+	}{{"fast", scanner.EngineFast}, {"emulated", scanner.EngineEmulated}} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				mustRun(w, scanner.Config{Week: 12, Engine: eng.e, Seed: 99, Workers: 4})
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(w.Domains))/elapsed, "domains/sec")
+			}
 		})
 	}
 }

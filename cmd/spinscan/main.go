@@ -26,6 +26,7 @@ import (
 	"quicspin/internal/analysis"
 	"quicspin/internal/asdb"
 	"quicspin/internal/conformance"
+	"quicspin/internal/report"
 	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
@@ -54,6 +55,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "virtual cooldown before an open breaker probes again (0 = 30s default)")
 	checkpoint := flag.String("checkpoint", "", "journal completed domains to this directory (enables -resume)")
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal and scan only the remainder")
+	stream := flag.Bool("stream", true, "stream results through incremental aggregation (false = legacy batch pipeline)")
+	lazyWorld := flag.Bool("lazy-world", false, "synthesise domains and servers on demand instead of materialising the population")
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -123,8 +126,14 @@ func main() {
 	prof.Seed = *seed
 	prof.HostileFrac = *hostileFrac
 	log.Printf("generating world (scale 1/%d)...", *scale)
-	world := websim.Generate(prof)
-	log.Printf("population: %d domains, %d servers", len(world.Domains), len(world.Servers()))
+	var world *websim.World
+	if *lazyWorld {
+		world = websim.GenerateLazy(prof)
+		log.Printf("population: %d domains (lazily synthesised)", world.NumDomains())
+	} else {
+		world = websim.Generate(prof)
+		log.Printf("population: %d domains, %d servers", world.NumDomains(), len(world.Servers()))
+	}
 
 	if *asdbOut != "" {
 		fh, err := os.Create(*asdbOut)
@@ -151,13 +160,42 @@ func main() {
 	reg.Gauge("spinscan_workers_total").Set(int64(nw))
 
 	stopProgress := startProgress(reg, *progressEvery, log.Printf)
+	// With -stream (and no qlog output, which needs materialised results)
+	// each domain flows straight into the incremental aggregators and is
+	// dropped — memory stays bounded by the aggregate state, not the
+	// population. -stream=false runs the legacy batch pipeline, retained as
+	// the streaming path's test oracle.
+	streamSummary := *stream && *qlogDir == ""
 	var analyzed []*analysis.Week
+	var camp *analysis.CampaignAccumulator
+	if streamSummary {
+		camp = analysis.NewCampaignAccumulator()
+	}
 	for wk := first; wk <= last; wk++ {
 		log.Printf("scanning week %d (%s, ipv6=%v)...", wk, *engine, *ipv6)
 		cfg := baseCfg
 		cfg.Week = wk
 		cfg.Seed = prof.Seed + int64(wk)
-		res, err := scanner.Run(world, cfg)
+		var err error
+		if streamSummary {
+			acc := camp.StartWeek(wk, cfg.IPv6, world.ASDB())
+			err = scanner.RunStream(world, cfg, acc.Sink())
+		} else {
+			run := scanner.Run
+			if !*stream {
+				run = scanner.RunBatch
+			}
+			var res *scanner.Result
+			res, err = run(world, cfg)
+			if err == nil {
+				if *qlogDir != "" {
+					if qerr := writeQlogs(res, *qlogDir); qerr != nil {
+						log.Fatalf("writing qlogs: %v", qerr)
+					}
+				}
+				analyzed = append(analyzed, analysis.Analyze(res))
+			}
+		}
 		if errors.Is(err, scanner.ErrInterrupted) {
 			if *checkpoint != "" {
 				log.Printf("campaign interrupted; resume with: spinscan -checkpoint %s -resume (plus the original flags)", *checkpoint)
@@ -169,47 +207,49 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *qlogDir != "" {
-			if err := writeQlogs(res, *qlogDir); err != nil {
-				log.Fatalf("writing qlogs: %v", err)
-			}
-		}
-		analyzed = append(analyzed, analysis.Analyze(res))
 	}
 	stopProgress()
 
 	if !*summary {
 		return
 	}
-	wk := analyzed[len(analyzed)-1]
-	if err := analysis.RenderOverview(wk).Render(os.Stdout); err != nil {
-		log.Fatal(err)
+	var tables []*report.Table
+	var accuracy string
+	if streamSummary {
+		wks := camp.Weeks()
+		a := wks[len(wks)-1]
+		tables = []*report.Table{
+			a.RenderOverview(), a.RenderOrgTable(8), a.RenderSpinConfig(),
+			a.RenderSoftwareTable(), a.RenderErrorClasses(),
+		}
+		if len(wks) > 1 {
+			tables = append(tables, analysis.RenderLongitudinal(camp.Longitudinal()))
+		}
+		accuracy = camp.RenderAccuracy(4)
+	} else {
+		wk := analyzed[len(analyzed)-1]
+		tables = []*report.Table{
+			analysis.RenderOverview(wk),
+			analysis.RenderOrgTable(wk, world.ASDB(), 8),
+			analysis.RenderSpinConfig(wk),
+			analysis.RenderSoftwareTable(wk, analysis.StandardViews()[1]),
+			analysis.RenderErrorClasses(wk),
+		}
+		if len(analyzed) > 1 {
+			tables = append(tables, analysis.RenderLongitudinal(analysis.Longitudinally(analyzed)))
+		}
+		accuracy = analysis.RenderAccuracy(analyzed, 4)
 	}
-	fmt.Println()
-	if err := analysis.RenderOrgTable(wk, world.ASDB(), 8).Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := analysis.RenderSpinConfig(wk).Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := analysis.RenderSoftwareTable(wk, analysis.StandardViews()[1]).Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := analysis.RenderErrorClasses(wk).Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-	if len(analyzed) > 1 {
-		fmt.Println()
-		l := analysis.Longitudinally(analyzed)
-		if err := analysis.RenderLongitudinal(l).Render(os.Stdout); err != nil {
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := t.Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Println()
-	fmt.Print(analysis.RenderAccuracy(analyzed, 4))
+	fmt.Print(accuracy)
 }
 
 // runConformance cross-validates the two engines over the generated world

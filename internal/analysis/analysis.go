@@ -7,7 +7,6 @@
 package analysis
 
 import (
-	"sort"
 	"time"
 
 	"quicspin/internal/asdb"
@@ -220,57 +219,14 @@ type OverviewRow struct {
 	TotalIPs, QUICIPs, SpinIPs                              int
 }
 
-// Overview aggregates the Table 1/4 counts for one view.
+// Overview aggregates the Table 1/4 counts for one view by driving the
+// same fold the streaming Accumulator uses.
 func Overview(w *Week, v View) OverviewRow {
-	row := OverviewRow{Label: v.Label}
-	type ipState struct{ quic, spin bool }
-	ips := map[string]*ipState{}
+	f := newOverviewFold(v)
 	for i := range w.Domains {
-		da := &w.Domains[i]
-		d := da.Src
-		if !v.Match(d) {
-			continue
-		}
-		row.TotalDomains++
-		if !d.Resolved {
-			continue
-		}
-		row.ResolvedDomains++
-		if d.QUIC() {
-			row.QUICDomains++
-		}
-		if da.Class == ClassSpin {
-			row.SpinDomains++
-		}
-		for j := range d.Conns {
-			c := &d.Conns[j]
-			if !c.IP.IsValid() {
-				continue
-			}
-			key := c.IP.String()
-			st := ips[key]
-			if st == nil {
-				st = &ipState{}
-				ips[key] = st
-			}
-			if c.QUIC {
-				st.quic = true
-			}
-			if da.Conns[j].Class == ClassSpin {
-				st.spin = true
-			}
-		}
+		f.add(&w.Domains[i])
 	}
-	for _, st := range ips {
-		row.TotalIPs++
-		if st.quic {
-			row.QUICIPs++
-		}
-		if st.spin {
-			row.SpinIPs++
-		}
-	}
-	return row
+	return f.finish()
 }
 
 // ConfigRow is one row of Table 3.
@@ -282,27 +238,11 @@ type ConfigRow struct {
 
 // SpinConfig aggregates the Table 3 classification for one view.
 func SpinConfig(w *Week, v View) ConfigRow {
-	row := ConfigRow{Label: v.Label}
+	f := newConfigFold(v)
 	for i := range w.Domains {
-		da := &w.Domains[i]
-		if !v.Match(da.Src) || !da.Src.QUIC() {
-			continue
-		}
-		row.QUICDomains++
-		switch da.Class {
-		case ClassAllZero:
-			row.AllZero++
-		case ClassAllOne:
-			row.AllOne++
-		case ClassSpin:
-			row.Spin++
-		case ClassGrease:
-			row.Grease++
-		default:
-			row.None++
-		}
+		f.add(&w.Domains[i])
 	}
-	return row
+	return f.row
 }
 
 // OrgRow is one row of Table 2.
@@ -318,66 +258,11 @@ type OrgRow struct {
 // IP→ASN→org resolver and returns rows ranked by connection count; orgs
 // beyond topN are merged into an "<other>" row appended last.
 func OrgTable(w *Week, res *asdb.Resolver, v View, topN int) []OrgRow {
-	totals := map[string]*OrgRow{}
+	f := newOrgFold(v, res)
 	for i := range w.Domains {
-		da := &w.Domains[i]
-		if !v.Match(da.Src) {
-			continue
-		}
-		for j := range da.Src.Conns {
-			c := &da.Src.Conns[j]
-			if !c.QUIC {
-				continue
-			}
-			org := res.OrgOf(c.IP)
-			r := totals[org]
-			if r == nil {
-				r = &OrgRow{Org: org}
-				totals[org] = r
-			}
-			r.TotalConns++
-			if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
-				// Table 2 counts "connections with some spin bit
-				// activity".
-				r.SpinConns++
-			}
-		}
+		f.add(&w.Domains[i])
 	}
-	rows := make([]OrgRow, 0, len(totals))
-	for _, r := range totals {
-		rows = append(rows, *r)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].TotalConns != rows[j].TotalConns {
-			return rows[i].TotalConns > rows[j].TotalConns
-		}
-		return rows[i].Org < rows[j].Org
-	})
-	for i := range rows {
-		rows[i].Rank = i + 1
-	}
-	// Spin ranks over the full set.
-	bySpin := make([]int, len(rows))
-	for i := range bySpin {
-		bySpin[i] = i
-	}
-	sort.Slice(bySpin, func(a, b int) bool {
-		return rows[bySpin[a]].SpinConns > rows[bySpin[b]].SpinConns
-	})
-	for rank, idx := range bySpin {
-		if rows[idx].SpinConns > 0 {
-			rows[idx].SpinRank = rank + 1
-		}
-	}
-	if len(rows) <= topN {
-		return rows
-	}
-	other := OrgRow{Org: "<other>"}
-	for _, r := range rows[topN:] {
-		other.TotalConns += r.TotalConns
-		other.SpinConns += r.SpinConns
-	}
-	return append(rows[:topN:topN], other)
+	return f.finish(topN)
 }
 
 // --- Fig. 2: longitudinal RFC compliance --------------------------------
@@ -401,55 +286,13 @@ type Longitudinal struct {
 // week. Domains are matched by name, so the weekly runs may come from
 // independently loaded qlog sets.
 func Longitudinally(weeks []*Week) Longitudinal {
-	n := len(weeks)
-	out := Longitudinal{Weeks: n}
-	if n == 0 {
-		return out
-	}
-	type track struct {
-		everSpun  bool
-		quicWeeks int
-		spinWeeks int
-	}
-	domains := map[string]*track{}
+	f := newLongFold()
 	for _, w := range weeks {
 		for i := range w.Domains {
-			da := &w.Domains[i]
-			t := domains[da.Src.Domain]
-			if t == nil {
-				t = &track{}
-				domains[da.Src.Domain] = t
-			}
-			if da.Src.QUIC() {
-				t.quicWeeks++
-			}
-			if da.Class == ClassSpin {
-				t.everSpun = true
-				t.spinWeeks++
-			}
+			f.add(&w.Domains[i])
 		}
 	}
-	counts := make([]int, n+1)
-	for _, t := range domains {
-		if !t.everSpun {
-			continue
-		}
-		out.EverSpun++
-		if t.quicWeeks < n {
-			continue // no working connection in every week (§4.3)
-		}
-		out.Considered++
-		counts[t.spinWeeks]++
-	}
-	out.Share = make([]float64, n+1)
-	for k := range counts {
-		if out.Considered > 0 {
-			out.Share[k] = float64(counts[k]) / float64(out.Considered)
-		}
-	}
-	out.RFC9000 = rfcShares(n, 16)
-	out.RFC9312 = rfcShares(n, 8)
-	return out
+	return f.finish(len(weeks))
 }
 
 // rfcShares computes the theoretical share of domains spinning in k of n

@@ -1,0 +1,449 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"quicspin/internal/asdb"
+	"quicspin/internal/hostile"
+	"quicspin/internal/resilience"
+	"quicspin/internal/scanner"
+	"quicspin/internal/stats"
+)
+
+// Fold objects: each aggregate's per-domain increment, shared between the
+// batch functions (Overview, SpinConfig, OrgTable, SoftwareTable, the
+// renderers) and the streaming Accumulator. Both paths execute the same
+// add() methods, so a streamed campaign renders byte-identical tables to a
+// batch-analysed one — the folds ARE the aggregation logic, the batch
+// entry points merely drive them over a materialised Week.
+
+// ipState tracks whether an IP ever carried a QUIC or spinning connection.
+type ipState struct{ quic, spin bool }
+
+// overviewFold accumulates one Table 1/4 row.
+type overviewFold struct {
+	v   View
+	row OverviewRow
+	ips map[string]*ipState
+}
+
+func newOverviewFold(v View) *overviewFold {
+	return &overviewFold{v: v, row: OverviewRow{Label: v.Label}, ips: map[string]*ipState{}}
+}
+
+func (f *overviewFold) add(da *DomainAnalysis) {
+	d := da.Src
+	if !f.v.Match(d) {
+		return
+	}
+	f.row.TotalDomains++
+	if !d.Resolved {
+		return
+	}
+	f.row.ResolvedDomains++
+	if d.QUIC() {
+		f.row.QUICDomains++
+	}
+	if da.Class == ClassSpin {
+		f.row.SpinDomains++
+	}
+	for j := range d.Conns {
+		c := &d.Conns[j]
+		if !c.IP.IsValid() {
+			continue
+		}
+		key := c.IP.String()
+		st := f.ips[key]
+		if st == nil {
+			st = &ipState{}
+			f.ips[key] = st
+		}
+		if c.QUIC {
+			st.quic = true
+		}
+		if da.Conns[j].Class == ClassSpin {
+			st.spin = true
+		}
+	}
+}
+
+// finish derives the per-IP counts; it does not mutate the fold and may be
+// called repeatedly.
+func (f *overviewFold) finish() OverviewRow {
+	row := f.row
+	for _, st := range f.ips {
+		row.TotalIPs++
+		if st.quic {
+			row.QUICIPs++
+		}
+		if st.spin {
+			row.SpinIPs++
+		}
+	}
+	return row
+}
+
+// configFold accumulates one Table 3 row.
+type configFold struct {
+	v   View
+	row ConfigRow
+}
+
+func newConfigFold(v View) *configFold {
+	return &configFold{v: v, row: ConfigRow{Label: v.Label}}
+}
+
+func (f *configFold) add(da *DomainAnalysis) {
+	if !f.v.Match(da.Src) || !da.Src.QUIC() {
+		return
+	}
+	f.row.QUICDomains++
+	switch da.Class {
+	case ClassAllZero:
+		f.row.AllZero++
+	case ClassAllOne:
+		f.row.AllOne++
+	case ClassSpin:
+		f.row.Spin++
+	case ClassGrease:
+		f.row.Grease++
+	default:
+		f.row.None++
+	}
+}
+
+// orgFold accumulates Table 2 per-organisation connection counts.
+type orgFold struct {
+	v      View
+	res    *asdb.Resolver
+	totals map[string]*OrgRow
+}
+
+func newOrgFold(v View, res *asdb.Resolver) *orgFold {
+	return &orgFold{v: v, res: res, totals: map[string]*OrgRow{}}
+}
+
+func (f *orgFold) add(da *DomainAnalysis) {
+	if !f.v.Match(da.Src) {
+		return
+	}
+	for j := range da.Src.Conns {
+		c := &da.Src.Conns[j]
+		if !c.QUIC {
+			continue
+		}
+		org := f.res.OrgOf(c.IP)
+		r := f.totals[org]
+		if r == nil {
+			r = &OrgRow{Org: org}
+			f.totals[org] = r
+		}
+		r.TotalConns++
+		if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
+			// Table 2 counts "connections with some spin bit activity".
+			r.SpinConns++
+		}
+	}
+}
+
+// finish ranks organisations by connection count, merging the tail beyond
+// topN into "<other>". Idempotent.
+func (f *orgFold) finish(topN int) []OrgRow {
+	rows := make([]OrgRow, 0, len(f.totals))
+	for _, r := range f.totals {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalConns != rows[j].TotalConns {
+			return rows[i].TotalConns > rows[j].TotalConns
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	// Spin ranks over the full set.
+	bySpin := make([]int, len(rows))
+	for i := range bySpin {
+		bySpin[i] = i
+	}
+	sort.Slice(bySpin, func(a, b int) bool {
+		return rows[bySpin[a]].SpinConns > rows[bySpin[b]].SpinConns
+	})
+	for rank, idx := range bySpin {
+		if rows[idx].SpinConns > 0 {
+			rows[idx].SpinRank = rank + 1
+		}
+	}
+	if len(rows) <= topN {
+		return rows
+	}
+	other := OrgRow{Org: "<other>"}
+	for _, r := range rows[topN:] {
+		other.TotalConns += r.TotalConns
+		other.SpinConns += r.SpinConns
+	}
+	return append(rows[:topN:topN], other)
+}
+
+// softwareFold accumulates the §4.2 Server-header attribution.
+type softwareFold struct {
+	v   View
+	agg map[string]*SoftwareRow
+}
+
+func newSoftwareFold(v View) *softwareFold {
+	return &softwareFold{v: v, agg: map[string]*SoftwareRow{}}
+}
+
+func (f *softwareFold) add(da *DomainAnalysis) {
+	if !f.v.Match(da.Src) {
+		return
+	}
+	for j := range da.Src.Conns {
+		c := &da.Src.Conns[j]
+		if !c.QUIC || c.Server == "" {
+			continue
+		}
+		r := f.agg[c.Server]
+		if r == nil {
+			r = &SoftwareRow{Software: c.Server}
+			f.agg[c.Server] = r
+		}
+		r.Conns++
+		if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
+			r.SpinConns++
+		}
+	}
+}
+
+// finish orders rows by spinning connections. Idempotent.
+func (f *softwareFold) finish() []SoftwareRow {
+	rows := make([]SoftwareRow, 0, len(f.agg))
+	for _, r := range f.agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SpinConns != rows[j].SpinConns {
+			return rows[i].SpinConns > rows[j].SpinConns
+		}
+		if rows[i].Conns != rows[j].Conns {
+			return rows[i].Conns > rows[j].Conns
+		}
+		return rows[i].Software < rows[j].Software
+	})
+	return rows
+}
+
+// errorClassFold accumulates the Table 5 error-class breakdown.
+type errorClassFold struct {
+	total    int
+	classes  map[resilience.Class]int
+	profiles map[hostile.Profile]int
+}
+
+func newErrorClassFold() *errorClassFold {
+	return &errorClassFold{classes: map[resilience.Class]int{}, profiles: map[hostile.Profile]int{}}
+}
+
+func (f *errorClassFold) add(d *scanner.DomainResult) {
+	for j := range d.Conns {
+		c := &d.Conns[j]
+		f.total++
+		cls := resilience.Classify(c.Err)
+		if cls == resilience.ClassNone {
+			continue
+		}
+		f.classes[cls]++
+		if cls == resilience.ClassHostile {
+			f.profiles[hostile.ProfileOf(c.Err)]++
+		}
+	}
+}
+
+// longTrack is one domain's cross-week spin history (Fig. 2).
+type longTrack struct {
+	everSpun  bool
+	quicWeeks int
+	spinWeeks int
+}
+
+// longFold accumulates the Fig. 2 compliance histogram across weeks. It
+// retains one small record per distinct domain name — the irreducible
+// state of a cross-week join — but no per-domain scan rows.
+type longFold struct {
+	domains map[string]*longTrack
+}
+
+func newLongFold() *longFold { return &longFold{domains: map[string]*longTrack{}} }
+
+// add folds one domain of one week; call it once per (domain, week).
+func (f *longFold) add(da *DomainAnalysis) {
+	t := f.domains[da.Src.Domain]
+	if t == nil {
+		t = &longTrack{}
+		f.domains[da.Src.Domain] = t
+	}
+	if da.Src.QUIC() {
+		t.quicWeeks++
+	}
+	if da.Class == ClassSpin {
+		t.everSpun = true
+		t.spinWeeks++
+	}
+}
+
+// finish computes the Fig. 2 dataset for an n-week campaign. Idempotent.
+func (f *longFold) finish(n int) Longitudinal {
+	out := Longitudinal{Weeks: n}
+	if n == 0 {
+		return out
+	}
+	counts := make([]int, n+1)
+	for _, t := range f.domains {
+		if !t.everSpun {
+			continue
+		}
+		out.EverSpun++
+		if t.quicWeeks < n {
+			continue // no working connection in every week (§4.3)
+		}
+		out.Considered++
+		counts[t.spinWeeks]++
+	}
+	out.Share = make([]float64, n+1)
+	for k := range counts {
+		if out.Considered > 0 {
+			out.Share[k] = float64(counts[k]) / float64(out.Considered)
+		}
+	}
+	out.RFC9000 = rfcShares(n, 16)
+	out.RFC9312 = rfcShares(n, 8)
+	return out
+}
+
+// accuracySets enumerates the four Fig. 3/4 panels in render order.
+var accuracySets = [4]AccuracySet{
+	{Class: ClassSpin},
+	{Class: ClassSpin, Sorted: true},
+	{Class: ClassGrease},
+	{Class: ClassGrease, Sorted: true},
+}
+
+var accuracySetNames = [4]string{"Spin (R)", "Spin (S)", "Grease (R)", "Grease (S)"}
+
+// accuracyFold accumulates the Fig. 3/4 histograms and the §5.2 headline
+// counters.
+type accuracyFold struct {
+	abs   [4]*stats.Histogram
+	ratio [4]*stats.Histogram
+
+	n                             int
+	over, w25, o200, w125, w2, o3 int
+}
+
+func newAccuracyFold() *accuracyFold {
+	f := &accuracyFold{}
+	for i := range f.abs {
+		f.abs[i] = stats.NewHistogram(Fig3Edges)
+		f.ratio[i] = stats.NewHistogram(Fig4Edges)
+	}
+	return f
+}
+
+func (f *accuracyFold) add(da *DomainAnalysis) {
+	for j := range da.Conns {
+		c := &da.Conns[j]
+		if !c.HasAccuracy {
+			continue
+		}
+		for si, set := range accuracySets {
+			if c.Class != set.Class {
+				continue
+			}
+			d, r := c.AbsR, c.RatioR
+			if set.Sorted {
+				d, r = c.AbsS, c.RatioS
+			}
+			f.abs[si].Add(float64(d) / float64(time.Millisecond))
+			f.ratio[si].Add(r)
+		}
+		if c.Class == ClassSpin {
+			f.observeHeadline(c)
+		}
+	}
+}
+
+func (f *accuracyFold) observeHeadline(c *Conn) {
+	f.n++
+	if c.AbsR > 0 {
+		f.over++
+	}
+	absMs := float64(c.AbsR) / 1e6
+	if absMs >= -25 && absMs <= 25 {
+		f.w25++
+	}
+	if absMs > 200 {
+		f.o200++
+	}
+	r := c.RatioR
+	if r >= -1.25 && r <= 1.25 {
+		f.w125++
+	}
+	if r >= -2 && r <= 2 {
+		f.w2++
+	}
+	if r > 3 || r < -3 {
+		f.o3++
+	}
+}
+
+// merge adds another fold's counts into f (for campaign-level accuracy
+// figures across weekly accumulators).
+func (f *accuracyFold) merge(o *accuracyFold) {
+	for i := range f.abs {
+		mergeHistogram(f.abs[i], o.abs[i])
+		mergeHistogram(f.ratio[i], o.ratio[i])
+	}
+	f.n += o.n
+	f.over += o.over
+	f.w25 += o.w25
+	f.o200 += o.o200
+	f.w125 += o.w125
+	f.w2 += o.w2
+	f.o3 += o.o3
+}
+
+func mergeHistogram(dst, src *stats.Histogram) {
+	for i := range dst.Counts {
+		dst.Counts[i] += src.Counts[i]
+	}
+	dst.Underflow += src.Underflow
+	dst.Overflow += src.Overflow
+	dst.N += src.N
+}
+
+// headlines finalises the §5.2 shares. Idempotent.
+func (f *accuracyFold) headlines() AccuracyHeadlines {
+	h := AccuracyHeadlines{N: f.n}
+	if h.N == 0 {
+		return h
+	}
+	n := float64(h.N)
+	h.OverestimateShare = float64(f.over) / n
+	h.Within25ms = float64(f.w25) / n
+	h.Over200ms = float64(f.o200) / n
+	h.Within25pct = float64(f.w125) / n
+	h.Within2x = float64(f.w2) / n
+	h.Over3x = float64(f.o3) / n
+	return h
+}
+
+// histAt returns the panel histogram for figure fig (3 = abs, 4 = ratio).
+func (f *accuracyFold) histAt(fig, i int) *stats.Histogram {
+	if fig == 3 {
+		return f.abs[i]
+	}
+	return f.ratio[i]
+}

@@ -13,15 +13,24 @@ import (
 // RenderOverview renders Table 1 (IPv4) or Table 4 (IPv6) for the three
 // standard views.
 func RenderOverview(w *Week) *report.Table {
+	rows := make([]OverviewRow, 0, 3)
+	for _, v := range StandardViews() {
+		rows = append(rows, Overview(w, v))
+	}
+	return renderOverviewTable(w.Week, w.IPv6, rows)
+}
+
+// renderOverviewTable formats Table 1/4 from already-aggregated rows; the
+// batch and streaming paths share it so their output cannot drift.
+func renderOverviewTable(week int, ipv6 bool, rows []OverviewRow) *report.Table {
 	title := "Table 1. Overview of IPv4 results"
-	if w.IPv6 {
+	if ipv6 {
 		title = "Table 4. Overview of IPv6 results"
 	}
-	t := report.NewTable(title+fmt.Sprintf(" (week %d)", w.Week),
+	t := report.NewTable(title+fmt.Sprintf(" (week %d)", week),
 		"List", "Unit", "Total", "Resolved", "QUIC", "Spin", "Spin%")
-	for _, v := range StandardViews() {
-		row := Overview(w, v)
-		t.AddRow(v.Label, "#Domains",
+	for _, row := range rows {
+		t.AddRow(row.Label, "#Domains",
 			report.Count(row.TotalDomains), report.Count(row.ResolvedDomains),
 			report.Count(row.QUICDomains), report.Count(row.SpinDomains),
 			stats.Percent(row.SpinDomains, row.QUICDomains))
@@ -35,11 +44,16 @@ func RenderOverview(w *Week) *report.Table {
 
 // RenderOrgTable renders Table 2 for the com/net/org view.
 func RenderOrgTable(w *Week, res *asdb.Resolver, topN int) *report.Table {
-	t := report.NewTable(
-		fmt.Sprintf("Table 2. QUIC connections and spin activity per AS organization (com/net/org, week %d)", w.Week),
-		"Rank", "Total #", "AS Organization", "Spin #", "Spin %", "Spin Rank")
 	view := StandardViews()[2]
-	for _, r := range OrgTable(w, res, view, topN) {
+	return renderOrgTable(w.Week, OrgTable(w, res, view, topN))
+}
+
+// renderOrgTable formats Table 2 from ranked rows.
+func renderOrgTable(week int, rows []OrgRow) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 2. QUIC connections and spin activity per AS organization (com/net/org, week %d)", week),
+		"Rank", "Total #", "AS Organization", "Spin #", "Spin %", "Spin Rank")
+	for _, r := range rows {
 		rank, spinRank := "", ""
 		if r.Rank > 0 {
 			rank = fmt.Sprintf("%d", r.Rank)
@@ -55,15 +69,23 @@ func RenderOrgTable(w *Week, res *asdb.Resolver, topN int) *report.Table {
 
 // RenderSpinConfig renders Table 3.
 func RenderSpinConfig(w *Week) *report.Table {
-	t := report.NewTable(
-		fmt.Sprintf("Table 3. Spin behavior of all QUIC domains (week %d)", w.Week),
-		"List", "All Zero", "All One", "Spin", "Grease")
+	rows := make([]ConfigRow, 0, 3)
 	for _, v := range StandardViews() {
-		r := SpinConfig(w, v)
+		rows = append(rows, SpinConfig(w, v))
+	}
+	return renderSpinConfigTable(w.Week, rows)
+}
+
+// renderSpinConfigTable formats Table 3 from aggregated rows.
+func renderSpinConfigTable(week int, rows []ConfigRow) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 3. Spin behavior of all QUIC domains (week %d)", week),
+		"List", "All Zero", "All One", "Spin", "Grease")
+	for _, r := range rows {
 		pc := func(n int) string {
 			return fmt.Sprintf("%s (%s)", report.Count(n), stats.Percent(n, r.QUICDomains))
 		}
-		t.AddRow(v.Label, pc(r.AllZero), pc(r.AllOne), report.Count(r.Spin), pc(r.Grease))
+		t.AddRow(r.Label, pc(r.AllZero), pc(r.AllOne), report.Count(r.Spin), pc(r.Grease))
 	}
 	return t
 }
@@ -72,43 +94,35 @@ func RenderSpinConfig(w *Week) *report.Table {
 // error class, with hostile-endpoint profiles broken out beneath the hostile
 // class. Shares are over all connection attempts of the week.
 func RenderErrorClasses(w *Week) *report.Table {
-	t := report.NewTable(
-		fmt.Sprintf("Table 5. Connection errors by class (week %d)", w.Week),
-		"Class", "Conns", "Share")
-	total := 0
-	classes := map[resilience.Class]int{}
-	profiles := map[hostile.Profile]int{}
+	f := newErrorClassFold()
 	for i := range w.Domains {
-		for j := range w.Domains[i].Src.Conns {
-			c := &w.Domains[i].Src.Conns[j]
-			total++
-			cls := resilience.Classify(c.Err)
-			if cls == resilience.ClassNone {
-				continue
-			}
-			classes[cls]++
-			if cls == resilience.ClassHostile {
-				profiles[hostile.ProfileOf(c.Err)]++
-			}
-		}
+		f.add(w.Domains[i].Src)
 	}
+	return renderErrorTable(w.Week, f)
+}
+
+// renderErrorTable formats Table 5 from a folded error breakdown.
+func renderErrorTable(week int, f *errorClassFold) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 5. Connection errors by class (week %d)", week),
+		"Class", "Conns", "Share")
 	for cls := resilience.ClassNone + 1; cls <= resilience.ClassOther; cls++ {
-		n := classes[cls]
+		n := f.classes[cls]
 		if n == 0 {
 			continue
 		}
-		t.AddRow(cls.String(), report.Count(n), stats.Percent(n, total))
+		t.AddRow(cls.String(), report.Count(n), stats.Percent(n, f.total))
 		if cls != resilience.ClassHostile {
 			continue
 		}
 		for _, p := range hostile.Profiles() {
-			if pn := profiles[p]; pn > 0 {
-				t.AddRow("  hostile: "+p.String(), report.Count(pn), stats.Percent(pn, total))
+			if pn := f.profiles[p]; pn > 0 {
+				t.AddRow("  hostile: "+p.String(), report.Count(pn), stats.Percent(pn, f.total))
 			}
 		}
 	}
-	if len(classes) == 0 {
-		t.AddRow("(no errors)", report.Count(0), stats.Percent(0, total))
+	if len(f.classes) == 0 {
+		t.AddRow("(no errors)", report.Count(0), stats.Percent(0, f.total))
 	}
 	return t
 }
@@ -132,26 +146,25 @@ func RenderLongitudinal(l Longitudinal) *report.Table {
 // RenderAccuracy renders one Fig. 3 or Fig. 4 histogram (abs difference or
 // mapped ratio) with the paper's headline shares below it.
 func RenderAccuracy(weeks []*Week, fig int) string {
-	out := ""
-	for _, set := range []struct {
-		name string
-		set  AccuracySet
-	}{
-		{"Spin (R)", AccuracySet{Class: ClassSpin}},
-		{"Spin (S)", AccuracySet{Class: ClassSpin, Sorted: true}},
-		{"Grease (R)", AccuracySet{Class: ClassGrease}},
-		{"Grease (S)", AccuracySet{Class: ClassGrease, Sorted: true}},
-	} {
-		var h *stats.Histogram
-		var unit string
+	return renderAccuracyFrom(fig, func(i int) *stats.Histogram {
 		if fig == 3 {
-			h = AbsHistogram(weeks, set.set)
-			unit = "ms abs difference (spin − stack)"
-		} else {
-			h = RatioHistogram(weeks, set.set)
-			unit = "mapped ratio of means"
+			return AbsHistogram(weeks, accuracySets[i])
 		}
-		out += fmt.Sprintf("Figure %d — %s, %s (n=%d)\n%s\n", fig, set.name, unit, h.N, h)
+		return RatioHistogram(weeks, accuracySets[i])
+	})
+}
+
+// renderAccuracyFrom formats the four Fig. 3/4 panels given a source of
+// per-panel histograms (batch recomputation or a streaming fold).
+func renderAccuracyFrom(fig int, hist func(i int) *stats.Histogram) string {
+	unit := "mapped ratio of means"
+	if fig == 3 {
+		unit = "ms abs difference (spin − stack)"
+	}
+	out := ""
+	for i, name := range accuracySetNames {
+		h := hist(i)
+		out += fmt.Sprintf("Figure %d — %s, %s (n=%d)\n%s\n", fig, name, unit, h.N, h)
 	}
 	return out
 }
@@ -172,40 +185,11 @@ type AccuracyHeadlines struct {
 // Headlines computes the headline accuracy shares over the spin set in
 // received order.
 func Headlines(weeks []*Week) AccuracyHeadlines {
-	var h AccuracyHeadlines
-	var over, w25, o200, w125, w2, o3 int
-	eachAccuracyConn(weeks, ClassSpin, func(c *Conn) {
-		h.N++
-		if c.AbsR > 0 {
-			over++
+	f := newAccuracyFold()
+	for _, w := range weeks {
+		for i := range w.Domains {
+			f.add(&w.Domains[i])
 		}
-		absMs := float64(c.AbsR) / 1e6
-		if absMs >= -25 && absMs <= 25 {
-			w25++
-		}
-		if absMs > 200 {
-			o200++
-		}
-		r := c.RatioR
-		if r >= -1.25 && r <= 1.25 {
-			w125++
-		}
-		if r >= -2 && r <= 2 {
-			w2++
-		}
-		if r > 3 || r < -3 {
-			o3++
-		}
-	})
-	if h.N == 0 {
-		return h
 	}
-	n := float64(h.N)
-	h.OverestimateShare = float64(over) / n
-	h.Within25ms = float64(w25) / n
-	h.Over200ms = float64(o200) / n
-	h.Within25pct = float64(w125) / n
-	h.Within2x = float64(w2) / n
-	h.Over3x = float64(o3) / n
-	return h
+	return f.headlines()
 }

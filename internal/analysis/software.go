@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
 
 	"quicspin/internal/report"
 	"quicspin/internal/stats"
@@ -23,42 +22,11 @@ type SoftwareRow struct {
 // matched unambiguously (i.e. a response was received). Rows are ordered
 // by spinning connections.
 func SoftwareTable(w *Week, v View) []SoftwareRow {
-	agg := map[string]*SoftwareRow{}
+	f := newSoftwareFold(v)
 	for i := range w.Domains {
-		da := &w.Domains[i]
-		if !v.Match(da.Src) {
-			continue
-		}
-		for j := range da.Src.Conns {
-			c := &da.Src.Conns[j]
-			if !c.QUIC || c.Server == "" {
-				continue
-			}
-			r := agg[c.Server]
-			if r == nil {
-				r = &SoftwareRow{Software: c.Server}
-				agg[c.Server] = r
-			}
-			r.Conns++
-			if da.Conns[j].Class == ClassSpin || da.Conns[j].Class == ClassGrease {
-				r.SpinConns++
-			}
-		}
+		f.add(&w.Domains[i])
 	}
-	rows := make([]SoftwareRow, 0, len(agg))
-	for _, r := range agg {
-		rows = append(rows, *r)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].SpinConns != rows[j].SpinConns {
-			return rows[i].SpinConns > rows[j].SpinConns
-		}
-		if rows[i].Conns != rows[j].Conns {
-			return rows[i].Conns > rows[j].Conns
-		}
-		return rows[i].Software < rows[j].Software
-	})
-	return rows
+	return f.finish()
 }
 
 // SpinShareOfSoftware returns the given software's share of all spinning
@@ -79,10 +47,15 @@ func SpinShareOfSoftware(rows []SoftwareRow, software string) float64 {
 
 // RenderSoftwareTable renders the §4.2 webserver attribution.
 func RenderSoftwareTable(w *Week, v View) *report.Table {
+	return renderSoftwareTable(v.Label, w.Week, SoftwareTable(w, v))
+}
+
+// renderSoftwareTable formats the attribution table from sorted rows.
+func renderSoftwareTable(label string, week int, rows []SoftwareRow) *report.Table {
 	t := report.NewTable(
-		fmt.Sprintf("Webserver attribution (%s, week %d) — §4.2", v.Label, w.Week),
+		fmt.Sprintf("Webserver attribution (%s, week %d) — §4.2", label, week),
 		"Server", "QUIC conns", "Spin conns", "Spin %")
-	for _, r := range SoftwareTable(w, v) {
+	for _, r := range rows {
 		t.AddRow(r.Software, report.Count(r.Conns), report.Count(r.SpinConns),
 			stats.Percent(r.SpinConns, r.Conns))
 	}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"quicspin/internal/asdb"
+	"quicspin/internal/report"
+	"quicspin/internal/scanner"
+	"quicspin/internal/stats"
+)
+
+// Accumulator is the streaming counterpart of Analyze + the batch
+// aggregate functions: it folds one week's scan results domain by domain
+// and can render every per-week table without ever retaining a per-domain
+// row. Feed it from scanner.RunStream via Sink (or call Add directly);
+// memory use is bounded by the aggregate state (IP/org/software/domain-name
+// maps), not by the population size.
+//
+// It drives the exact fold objects the batch functions drive, and the
+// renderers share the row-formatting helpers, so a streamed campaign's
+// tables are byte-identical to a batch-analysed one — the equivalence tests
+// in stream_test.go pin this.
+type Accumulator struct {
+	Week int
+	IPv6 bool
+
+	views    []View
+	overview []*overviewFold
+	config   []*configFold
+	orgs     *orgFold
+	software *softwareFold
+	errs     *errorClassFold
+	acc      *accuracyFold
+	long     *longFold // shared campaign fold; nil outside a campaign
+
+	scratch []Conn // reused per Add; aggregate state never aliases it
+}
+
+// NewAccumulator prepares streaming aggregation for one measurement week.
+// res resolves connection IPs to AS organisations for Table 2 (it must be
+// the world's resolver, as with OrgTable).
+func NewAccumulator(week int, ipv6 bool, res *asdb.Resolver) *Accumulator {
+	a := &Accumulator{
+		Week:     week,
+		IPv6:     ipv6,
+		views:    StandardViews(),
+		errs:     newErrorClassFold(),
+		acc:      newAccuracyFold(),
+		software: newSoftwareFold(StandardViews()[1]),
+	}
+	for _, v := range a.views {
+		a.overview = append(a.overview, newOverviewFold(v))
+		a.config = append(a.config, newConfigFold(v))
+	}
+	a.orgs = newOrgFold(a.views[2], res)
+	return a
+}
+
+// Add folds one finished domain into every aggregate. The DomainResult is
+// only read during the call; the per-connection analyses live in a scratch
+// slice reused across calls.
+func (a *Accumulator) Add(d *scanner.DomainResult) {
+	conns := a.scratch[:0]
+	for j := range d.Conns {
+		conns = append(conns, AnalyzeConn(&d.Conns[j]))
+	}
+	a.scratch = conns
+	da := DomainAnalysis{Src: d, Conns: conns, Class: DomainClass(conns)}
+	for i := range a.overview {
+		a.overview[i].add(&da)
+		a.config[i].add(&da)
+	}
+	a.orgs.add(&da)
+	a.software.add(&da)
+	a.errs.add(d)
+	a.acc.add(&da)
+	if a.long != nil {
+		a.long.add(&da)
+	}
+}
+
+// Sink adapts the accumulator to scanner.RunStream's delivery callback.
+func (a *Accumulator) Sink() func(i int, d *scanner.DomainResult) error {
+	return func(_ int, d *scanner.DomainResult) error {
+		a.Add(d)
+		return nil
+	}
+}
+
+// RenderOverview renders Table 1/4 from the folded state.
+func (a *Accumulator) RenderOverview() *report.Table {
+	rows := make([]OverviewRow, 0, len(a.overview))
+	for _, f := range a.overview {
+		rows = append(rows, f.finish())
+	}
+	return renderOverviewTable(a.Week, a.IPv6, rows)
+}
+
+// RenderOrgTable renders Table 2 (com/net/org view, as in the batch path).
+func (a *Accumulator) RenderOrgTable(topN int) *report.Table {
+	return renderOrgTable(a.Week, a.orgs.finish(topN))
+}
+
+// RenderSpinConfig renders Table 3.
+func (a *Accumulator) RenderSpinConfig() *report.Table {
+	rows := make([]ConfigRow, 0, len(a.config))
+	for _, f := range a.config {
+		rows = append(rows, f.row)
+	}
+	return renderSpinConfigTable(a.Week, rows)
+}
+
+// RenderSoftwareTable renders the §4.2 attribution (CZDS view, matching
+// the batch summary).
+func (a *Accumulator) RenderSoftwareTable() *report.Table {
+	return renderSoftwareTable(a.software.v.Label, a.Week, a.software.finish())
+}
+
+// RenderErrorClasses renders Table 5.
+func (a *Accumulator) RenderErrorClasses() *report.Table {
+	return renderErrorTable(a.Week, a.errs)
+}
+
+// RenderAccuracy renders the week's Fig. 3 or Fig. 4 panels.
+func (a *Accumulator) RenderAccuracy(fig int) string {
+	return renderAccuracyFrom(fig, func(i int) *stats.Histogram {
+		return a.acc.histAt(fig, i)
+	})
+}
+
+// Headlines returns the week's §5.2 headline accuracy shares.
+func (a *Accumulator) Headlines() AccuracyHeadlines {
+	return a.acc.headlines()
+}
+
+// CampaignAccumulator spans a multi-week campaign: it owns the shared
+// Fig. 2 fold (cross-week spin history by domain name) and merges the
+// weekly accuracy folds for campaign-level Figs. 3/4, mirroring the batch
+// pipeline's Longitudinally(weeks) and RenderAccuracy(weeks, fig).
+type CampaignAccumulator struct {
+	long  *longFold
+	weeks []*Accumulator
+}
+
+// NewCampaignAccumulator prepares a streaming multi-week campaign.
+func NewCampaignAccumulator() *CampaignAccumulator {
+	return &CampaignAccumulator{long: newLongFold()}
+}
+
+// StartWeek creates the accumulator for one week's scan, wired into the
+// campaign's longitudinal fold. Call it once per week, feed it the week's
+// results, then move on — weekly aggregate state stays available for
+// rendering but no per-domain data is retained.
+func (c *CampaignAccumulator) StartWeek(week int, ipv6 bool, res *asdb.Resolver) *Accumulator {
+	a := NewAccumulator(week, ipv6, res)
+	a.long = c.long
+	c.weeks = append(c.weeks, a)
+	return a
+}
+
+// Weeks returns the per-week accumulators in StartWeek order.
+func (c *CampaignAccumulator) Weeks() []*Accumulator { return c.weeks }
+
+// Longitudinal computes the Fig. 2 dataset over all started weeks.
+func (c *CampaignAccumulator) Longitudinal() Longitudinal {
+	return c.long.finish(len(c.weeks))
+}
+
+// RenderAccuracy renders campaign-level Fig. 3 or Fig. 4 panels over every
+// week's connections, like the batch RenderAccuracy(weeks, fig).
+func (c *CampaignAccumulator) RenderAccuracy(fig int) string {
+	merged := newAccuracyFold()
+	for _, a := range c.weeks {
+		merged.merge(a.acc)
+	}
+	return renderAccuracyFrom(fig, func(i int) *stats.Histogram {
+		return merged.histAt(fig, i)
+	})
+}

@@ -3,6 +3,7 @@ package netem
 import (
 	"time"
 
+	"quicspin/internal/sim"
 	"quicspin/internal/transport"
 )
 
@@ -15,7 +16,12 @@ type ClientHost struct {
 	addr   string
 	remote string
 	conn   *transport.Conn
-	timer  timerHandle
+	timer  sim.Timer
+	// flushFn and onTimer are the host's loop callbacks, bound once at
+	// construction so the per-packet rearm/flush cycle schedules without
+	// allocating fresh closures.
+	flushFn func(now time.Time)
+	onTimer func(now time.Time)
 	// OnActivity, when set, runs after every connection event (receive or
 	// timer) so application layers can queue stream data before the flush.
 	OnActivity func(conn *transport.Conn, now time.Time)
@@ -27,20 +33,16 @@ type ClientHost struct {
 	ProcessDelay func() time.Duration
 }
 
-type timerHandle struct{ stop func() bool }
-
-func (t *timerHandle) cancel() {
-	if t.stop != nil {
-		t.stop()
-		t.stop = nil
-	}
-}
-
 // NewClientHost attaches a client connection at addr talking to remote.
 // Call Kick once after construction (and after queueing initial stream
 // data) to transmit the first flight.
 func NewClientHost(n *Network, addr, remote string, conn *transport.Conn) *ClientHost {
 	h := &ClientHost{net: n, addr: addr, remote: remote, conn: conn}
+	h.flushFn = h.flush
+	h.onTimer = func(now time.Time) {
+		h.conn.Advance(now)
+		h.fire(now)
+	}
 	n.Attach(addr, func(now time.Time, from string, data []byte) {
 		if conn.Closed() {
 			return
@@ -63,7 +65,7 @@ func (h *ClientHost) fire(now time.Time) {
 		h.OnActivity(h.conn, now)
 	}
 	if h.ProcessDelay != nil {
-		h.net.loop.After(h.ProcessDelay(), h.flush)
+		h.net.loop.After(h.ProcessDelay(), h.flushFn)
 		return
 	}
 	h.flush(now)
@@ -77,31 +79,31 @@ func (h *ClientHost) flush(now time.Time) {
 }
 
 func (h *ClientHost) rearm() {
-	h.timer.cancel()
+	h.timer.Stop()
 	deadline, ok := h.conn.NextTimeout()
 	if !ok {
+		h.timer = sim.Timer{}
 		return
 	}
-	t := h.net.loop.At(deadline, func(now time.Time) {
-		h.conn.Advance(now)
-		h.fire(now)
-	})
-	h.timer.stop = t.Stop
+	h.timer = h.net.loop.At(deadline, h.onTimer)
 }
 
 // Close tears the host down: it detaches from the network and cancels
 // pending timers (in-flight datagrams toward it are dropped).
 func (h *ClientHost) Close() {
-	h.timer.cancel()
+	h.timer.Stop()
+	h.timer = sim.Timer{}
 	h.net.Detach(h.addr)
 }
 
 // ServerHost drives a transport.Endpoint attached to a Network address.
 type ServerHost struct {
-	net   *Network
-	addr  string
-	ep    *transport.Endpoint
-	timer timerHandle
+	net     *Network
+	addr    string
+	ep      *transport.Endpoint
+	timer   sim.Timer
+	flushFn func(now time.Time)
+	onTimer func(now time.Time)
 	// OnActivity runs after each received datagram or timer event, letting
 	// the application serve streams on every connection.
 	OnActivity func(ep *transport.Endpoint, now time.Time)
@@ -112,6 +114,11 @@ type ServerHost struct {
 // NewServerHost attaches ep at addr.
 func NewServerHost(n *Network, addr string, ep *transport.Endpoint) *ServerHost {
 	h := &ServerHost{net: n, addr: addr, ep: ep}
+	h.flushFn = h.flush
+	h.onTimer = func(now time.Time) {
+		h.ep.Advance(now)
+		h.fire(now)
+	}
 	n.Attach(addr, func(now time.Time, from string, data []byte) {
 		_ = h.ep.Receive(now, from, data) // unroutable/malformed: dropped
 		h.fire(now)
@@ -134,7 +141,7 @@ func (h *ServerHost) fire(now time.Time) {
 		h.OnActivity(h.ep, now)
 	}
 	if h.ProcessDelay != nil {
-		h.net.loop.After(h.ProcessDelay(), h.flush)
+		h.net.loop.After(h.ProcessDelay(), h.flushFn)
 		return
 	}
 	h.flush(now)
@@ -148,20 +155,18 @@ func (h *ServerHost) flush(now time.Time) {
 }
 
 func (h *ServerHost) rearm() {
-	h.timer.cancel()
+	h.timer.Stop()
 	deadline, ok := h.ep.NextTimeout()
 	if !ok {
+		h.timer = sim.Timer{}
 		return
 	}
-	t := h.net.loop.At(deadline, func(now time.Time) {
-		h.ep.Advance(now)
-		h.fire(now)
-	})
-	h.timer.stop = t.Stop
+	h.timer = h.net.loop.At(deadline, h.onTimer)
 }
 
 // Close detaches the server from the network.
 func (h *ServerHost) Close() {
-	h.timer.cancel()
+	h.timer.Stop()
+	h.timer = sim.Timer{}
 	h.net.Detach(h.addr)
 }

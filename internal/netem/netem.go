@@ -87,10 +87,27 @@ type Network struct {
 	// manglers rewrite datagrams leaving a host (keyed by sender address).
 	manglers map[string]Mangler
 
+	// freeDel and freeBufs recycle in-flight delivery records and datagram
+	// copies. Handlers and taps must not retain the delivered slice beyond
+	// the call (the transport copies retained stream data); in exchange the
+	// per-datagram copy in transmit is allocation-free at steady state.
+	freeDel  []*delivery
+	freeBufs [][]byte
+
 	// tm mirrors stats into shared campaign telemetry counters; the zero
 	// value (nil counters) is a no-op, so uninstrumented networks pay
 	// only nil checks.
 	tm netTelemetry
+}
+
+// delivery is one scheduled datagram arrival. fn is the loop callback bound
+// once per pooled record, so scheduling a delivery allocates nothing after
+// the pool warms up.
+type delivery struct {
+	n        *Network
+	from, to string
+	data     []byte
+	fn       func(now time.Time)
 }
 
 // netTelemetry holds the pre-resolved counters of one network. Counters
@@ -290,33 +307,67 @@ func (n *Network) transmit(from, to string, data []byte) {
 		}
 		n.lastDelivery[key] = at
 	}
-	cp := make([]byte, len(data))
+	cp := n.getBuf(len(data))
 	copy(cp, data)
 	n.deliverAt(at, from, to, cp)
 	if cfg.DuplicateRate > 0 && n.rng.Float64() < cfg.DuplicateRate {
 		n.stats.Duplicated++
 		n.tm.duplicated.Inc()
-		dup := make([]byte, len(cp))
+		dup := n.getBuf(len(cp))
 		copy(dup, cp)
 		n.deliverAt(at.Add(time.Millisecond), from, to, dup)
 	}
 }
 
+// getBuf returns a length-size datagram buffer from the pool. Undersized
+// pool entries are dropped rather than cycled; steady-state traffic is
+// MTU-bounded, so the pool converges to a handful of full-size buffers.
+func (n *Network) getBuf(size int) []byte {
+	if k := len(n.freeBufs); k > 0 {
+		b := n.freeBufs[k-1]
+		n.freeBufs = n.freeBufs[:k-1]
+		if cap(b) >= size {
+			return b[:size]
+		}
+	}
+	c := size
+	if c < 2048 {
+		c = 2048
+	}
+	return make([]byte, size, c)
+}
+
 func (n *Network) deliverAt(at time.Time, from, to string, data []byte) {
-	n.loop.At(at, func(now time.Time) {
-		h, ok := n.hosts[to]
-		if !ok || n.dropAll[to] || n.outage[to] || n.outage[from] {
-			n.stats.Dropped++
-			n.tm.dropped.Inc()
-			return
-		}
-		n.stats.Delivered++
-		n.tm.delivered.Inc()
-		if n.tap != nil {
-			n.tap(now, from, to, data)
-		}
-		h(now, from, data)
-	})
+	var d *delivery
+	if k := len(n.freeDel); k > 0 {
+		d = n.freeDel[k-1]
+		n.freeDel = n.freeDel[:k-1]
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.run
+	}
+	d.from, d.to, d.data = from, to, data
+	n.loop.At(at, d.fn)
+}
+
+func (d *delivery) run(now time.Time) {
+	n, from, to, data := d.n, d.from, d.to, d.data
+	// Release the record before running the handler: nested sends reuse it.
+	d.from, d.to, d.data = "", "", nil
+	n.freeDel = append(n.freeDel, d)
+	defer func() { n.freeBufs = append(n.freeBufs, data) }()
+	h, ok := n.hosts[to]
+	if !ok || n.dropAll[to] || n.outage[to] || n.outage[from] {
+		n.stats.Dropped++
+		n.tm.dropped.Inc()
+		return
+	}
+	n.stats.Delivered++
+	n.tm.delivered.Inc()
+	if n.tap != nil {
+		n.tap(now, from, to, data)
+	}
+	h(now, from, data)
 }
 
 // String summarises network statistics.

@@ -32,6 +32,9 @@ type emulatedEngine struct {
 	resolver  *dns.Resolver
 	servers   map[netip.Addr]*serverSite
 	clientSeq int
+	// drng is the reusable per-domain Rand (see lazySource): reseeding is
+	// O(1) for domains that never roll dice.
+	drng *rand.Rand
 	// stalled marks the engine unhealthy after a watchdog kill: the loop
 	// still holds undrained events, so the worker must rebuild the engine
 	// before scanning another domain.
@@ -55,6 +58,7 @@ func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTele
 		net:      netem.New(loop, netem.PathConfig{Delay: 10 * time.Millisecond}, rng),
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
 		servers:  map[netip.Addr]*serverSite{},
+		drng:     newLazyRand(),
 	}
 	e.net.SetTelemetry(cfg.Telemetry)
 	e.resolver.EnableCache()
@@ -75,7 +79,10 @@ func campaignStart(week int) time.Time {
 func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 	// Reseed every random stream the scan can touch from (Seed, Week,
 	// domain) so the outcome is independent of scan order and sharding.
-	rng := domainRng(e.cfg, d.Name)
+	// The reusable Rand is reseeded in place (byte-identical stream, O(1)
+	// until the first draw — see lazySource).
+	e.drng.Seed(domainSeed(e.cfg, d.Name))
+	rng := e.drng
 	e.rng = rng
 	e.net.SetRng(rng)
 	// Retry backoff advances this worker's virtual clock; the loop also

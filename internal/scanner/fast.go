@@ -25,10 +25,20 @@ type fastEngine struct {
 	tm       *scanTelemetry
 	resolver *dns.Resolver
 	now      time.Time
+	// drng is the reusable per-domain Rand: reseeding it with domainSeed is
+	// O(1) until the first draw (see lazySource), which skips the expensive
+	// math/rand state rebuild for every domain whose scan rolls no dice.
+	drng *rand.Rand
 	// failFirst mirrors netem's injected-outage schedule for engine parity:
 	// the first k connection attempts against an address time out, then it
 	// recovers. Counters live per engine (per worker), like netem's.
 	failFirst map[string]int
+
+	// times and obs are per-connection synthesis scratch, reused across
+	// connections to keep the campaign hot loop allocation-free; retained
+	// observation series are copied out (see synthesizeObservations).
+	times []time.Duration
+	obs   []core.Observation
 }
 
 func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *fastEngine {
@@ -39,6 +49,7 @@ func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetr
 		tm:       tm,
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
 		now:      campaignStart(cfg.Week),
+		drng:     newLazyRand(),
 	}
 	e.resolver.EnableCache()
 	e.resolver.SetTelemetry(cfg.Telemetry)
@@ -53,7 +64,11 @@ func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetr
 }
 
 func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
-	e.rng = domainRng(e.cfg, d.Name)
+	// Reseed the reusable Rand in place: (*rand.Rand).Seed resets its Read
+	// cache and re-arms the lazy source, so the stream is byte-identical to
+	// a fresh domainRng — without the state rebuild for draw-free scans.
+	e.drng.Seed(domainSeed(e.cfg, d.Name))
+	e.rng = e.drng
 	// No virtual clock to advance here: retry backoff only draws jitter
 	// from the domain rng (sleep is a no-op).
 	return runChain(e.cfg, e.rng, e.resolver, nil, e.tm, d, e.connect)
@@ -110,6 +125,7 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string)
 	rtt := e.pathRTT(srv)
 	// Stack samples: one per handshake flight plus data-phase samples,
 	// each jittered around the network RTT.
+	out.StackRTTs = make([]time.Duration, 0, fastStackSamples)
 	for i := 0; i < fastStackSamples; i++ {
 		out.StackRTTs = append(out.StackRTTs, jittered(e.rng, rtt, 0.04))
 	}
@@ -189,7 +205,7 @@ func (e *fastEngine) pathRTT(srv *websim.Server) time.Duration {
 func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv *websim.Server, rtt time.Duration, respBytes int) time.Duration {
 	plan := srv.ResponsePlan(e.rng, respBytes)
 	// Receive times of server packets, relative to handshake completion.
-	var times []time.Duration
+	times := e.times[:0]
 	times = append(times, 0) // HANDSHAKE_DONE (+ request ACK)
 	for _, ch := range plan {
 		pkts := (ch.Bytes + fastMTUPayload - 1) / fastMTUPayload
@@ -208,6 +224,7 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 			}
 		}
 	}
+	e.times = times // keep the grown scratch for the next connection
 
 	// Client spin wave: the client flips its value when it receives a new
 	// largest packet; the server's packets reflect the client value that
@@ -220,6 +237,7 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 	base := campaignStart(e.cfg.Week).Add(3 * rtt / 2) // handshake done at ~1.5 RTT
 	var pn uint64
 	var lastAt time.Duration
+	obs := e.obs[:0]
 	for _, at := range times {
 		if at > lastAt {
 			lastAt = at
@@ -254,15 +272,19 @@ func (e *fastEngine) synthesizeObservations(out *ConnResult, mode core.Mode, srv
 		} else {
 			out.ZeroPkts++
 		}
-		out.Observations = append(out.Observations, ob)
+		obs = append(obs, ob)
 	}
+	e.obs = obs // keep the grown scratch for the next connection
 	// Run the same pure spin-pattern detector the emulated engine applies,
 	// before the no-flip discard (the detector needs the series).
-	if p := hostile.DetectSpinPattern(out.Observations); p != hostile.None {
+	if p := hostile.DetectSpinPattern(obs); p != hostile.None {
 		out.Err = hostile.ErrText(p)
 	}
-	if !out.HasFlips() && !e.cfg.KeepAllObservations {
-		out.Observations = nil
+	// Only series with flips are retained (unless the caller keeps all), so
+	// the synthesis above runs entirely in scratch and the retained minority
+	// is copied out exactly-sized here.
+	if out.HasFlips() || e.cfg.KeepAllObservations {
+		out.Observations = append(make([]core.Observation, 0, len(obs)), obs...)
 	}
 	return lastAt
 }

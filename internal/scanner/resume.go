@@ -111,39 +111,46 @@ func domainOutcome(res *DomainResult, cfg Config) resilience.Outcome {
 	}
 }
 
-// breakerGate maps every domain to its breaker group (origin AS) and its
-// canonical position within that group. Grouping uses the world's
-// ground-truth addresses and the RIS-derived prefix table — in the paper's
-// setting the prefix→AS mapping is known a priori from routing dumps, so
-// the assignment is independent of scan-time DNS outcomes and therefore of
-// worker scheduling.
-type breakerGate struct {
-	br   *resilience.Breaker
-	keys []string // "" = domain does not participate (no address)
+// breakerKey maps a domain to its breaker group (origin AS), or "" when it
+// does not participate (no address to back off from). Grouping uses the
+// world's ground-truth addresses and the RIS-derived prefix table — in the
+// paper's setting the prefix→AS mapping is known a priori from routing
+// dumps, so the assignment is independent of scan-time DNS outcomes and
+// therefore of worker scheduling.
+func breakerKey(w *websim.World, cfg Config, d *websim.Domain) string {
+	addr := d.V4
+	if cfg.IPv6 {
+		addr = d.V6
+	}
+	if !addr.IsValid() {
+		return "" // unresolvable: no prefix to back off from
+	}
+	if asn, ok := w.ASDB().Table.Lookup(addr); ok {
+		return fmt.Sprintf("as-%d", asn)
+	}
+	return "unattributed"
+}
+
+// batchGate precomputes every domain's breaker group and canonical
+// position for RunBatch's strided workers. The streaming pipeline assigns
+// the same slots incrementally in its generator instead, so lazy worlds
+// never materialise the population just for breaker bookkeeping.
+type batchGate struct {
+	keys []string // "" = domain does not participate
 	pos  []int
 }
 
-func newBreakerGate(w *websim.World, cfg Config) *breakerGate {
+func newBatchGate(w *websim.World, cfg Config) *batchGate {
 	if !cfg.Breaker.Enabled() {
 		return nil
 	}
-	g := &breakerGate{
-		br:   resilience.NewBreaker(cfg.Breaker),
-		keys: make([]string, len(w.Domains)),
-		pos:  make([]int, len(w.Domains)),
-	}
+	n := w.NumDomains()
+	g := &batchGate{keys: make([]string, n), pos: make([]int, n)}
 	next := map[string]int{}
-	for i, d := range w.Domains {
-		addr := d.V4
-		if cfg.IPv6 {
-			addr = d.V6
-		}
-		if !addr.IsValid() {
-			continue // unresolvable: no prefix to back off from
-		}
-		key := "unattributed"
-		if asn, ok := w.ASDB().Table.Lookup(addr); ok {
-			key = fmt.Sprintf("as-%d", asn)
+	for i := 0; i < n; i++ {
+		key := breakerKey(w, cfg, w.DomainAt(i))
+		if key == "" {
+			continue
 		}
 		g.keys[i] = key
 		g.pos[i] = next[key]

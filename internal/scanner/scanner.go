@@ -20,13 +20,11 @@ package scanner
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"quicspin/internal/core"
@@ -281,128 +279,81 @@ type Result struct {
 	Domains []DomainResult
 }
 
-// Run executes a measurement of every domain in the world's population.
+// Run executes a measurement of every domain in the world's population
+// through the streaming pipeline (domain generator → worker pool →
+// aggregator) and materialises the full Result. Use RunStream to consume
+// results incrementally without materialising them, or RunBatch for the
+// legacy shard-strided execution kept as a test oracle; all three produce
+// identical per-domain results for a fixed Config.Seed, independent of
+// Config.Workers.
+//
 // It returns an error for invalid configs (see Config.Validate), for an
 // unreadable or unwritable checkpoint directory, and — wrapped around the
 // partial Result — ErrInterrupted when the campaign was stopped early.
 func Run(w *websim.World, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	domains := w.Domains
-	nw := cfg.workers()
-	if nw > len(domains) {
-		nw = 1
-	}
-	tm := newScanTelemetry(cfg.Telemetry)
-	tm.week.Set(int64(cfg.Week))
-	// The domain counter is cumulative across runs sharing a registry (a
-	// multi-week campaign), so the population denominator accumulates too:
-	// the progress ratio stays ≤ 1 for the campaign as a whole.
-	tm.population.Add(int64(len(domains)))
-
-	journal, replayed, err := openCheckpoint(cfg)
+	c, err := newCampaign(w, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if journal != nil {
-		defer journal.Close()
+	defer c.close()
+	out := &Result{Week: cfg.Week, IPv6: cfg.IPv6, Domains: make([]DomainResult, w.NumDomains())}
+	c.runPipeline(func(rb *resultBatch) {
+		copy(out.Domains[rb.start:], rb.results)
+	})
+	c.finish()
+	if c.interrupted.Load() {
+		return out, ErrInterrupted
 	}
+	return out, nil
+}
 
-	gate := newBreakerGate(w, cfg)
-	var interrupted atomic.Bool
-	interrupt := func() {
-		if interrupted.CompareAndSwap(false, true) && gate != nil {
-			gate.br.Abort()
-		}
+// RunBatch is the pre-streaming campaign implementation: every worker
+// strides over the materialised population and writes results in place.
+// It is retained as the oracle for the streaming pipeline's equivalence
+// tests (and as a fallback via spinscan -stream=false); new callers
+// should use Run or RunStream.
+func RunBatch(w *websim.World, cfg Config) (*Result, error) {
+	c, err := newCampaign(w, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Interrupt != nil {
-		stopWatch := make(chan struct{})
-		defer close(stopWatch)
-		go func() {
-			select {
-			case <-cfg.Interrupt:
-				interrupt()
-			case <-stopWatch:
-			}
-		}()
+	defer c.close()
+	n := w.NumDomains()
+	nw := cfg.workers()
+	if nw > n {
+		nw = 1
 	}
-	var completed atomic.Int64
-
-	out := &Result{Week: cfg.Week, IPv6: cfg.IPv6, Domains: make([]DomainResult, len(domains))}
+	gate := newBatchGate(w, cfg)
+	out := &Result{Week: cfg.Week, IPv6: cfg.IPv6, Domains: make([]DomainResult, n)}
 	var wg sync.WaitGroup
 	for shard := 0; shard < nw; shard++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			tm.workersActive.Add(1)
-			defer tm.workersActive.Add(-1)
-			eng := buildEngine(w, cfg, newEngineRng(cfg, shard), tm)
-			for i := shard; i < len(domains); i += nw {
-				if interrupted.Load() {
+			c.tm.workersActive.Add(1)
+			defer c.tm.workersActive.Add(-1)
+			eng := buildEngine(w, cfg, newEngineRng(cfg, shard), c.tm)
+			for i := shard; i < n; i += nw {
+				if c.interrupted.Load() {
 					return
 				}
-				d := domains[i]
-				// The gate serialises breaker decisions in canonical
-				// domain order per group; workers ascend within their
-				// shards, so waits are only ever on strictly-earlier
-				// indices and cannot deadlock.
-				var dec resilience.Decision
-				key := ""
+				// Workers ascend within their shards, so breaker waits are
+				// only ever on strictly-earlier indices and cannot deadlock.
+				key, pos := "", 0
 				if gate != nil {
-					key = gate.keys[i]
+					key, pos = gate.keys[i], gate.pos[i]
 				}
-				if key != "" {
-					dec = gate.br.Acquire(key, gate.pos[i])
-					if dec.Aborted {
-						return
-					}
-					if dec.Probe {
-						tm.breakerProbes.Inc()
-					}
-				}
-				res, fromCheckpoint := replayResult(replayed, cfg, d)
-				if fromCheckpoint {
-					tm.resumed.Inc()
-				} else if dec.Skip {
-					res = breakerSkipResult(d)
-					tm.breakerSkipped.Inc()
-				} else {
-					var panicked bool
-					res, panicked = scanSafely(eng, cfg, d)
-					if panicked {
-						tm.panics.Inc()
-					}
-					if panicked || !eng.healthy() {
-						// The engine's loop or internal state cannot be
-						// trusted after a panic or stall: rebuild it.
-						// Per-domain rng derivation keeps every other
-						// domain's result unchanged.
-						eng = buildEngine(w, cfg, newEngineRng(cfg, shard), tm)
-					}
-				}
-				if key != "" {
-					// Replayed results report the same outcome their live
-					// scan did, so the breaker replays to the same state.
-					if ev := gate.br.Record(key, gate.pos[i], domainOutcome(&res, cfg)); ev.Opened {
-						tm.breakerOpen.Inc()
-					}
+				res, ok := c.scanStep(&eng, shard, w.DomainAt(i), key, pos)
+				if !ok {
+					return
 				}
 				out.Domains[i] = res
-				tm.recordDomain(&out.Domains[i])
-				if journal != nil && !fromCheckpoint {
-					if err := journal.Append(shard, checkpointKey(cfg, d.Name), &out.Domains[i]); err != nil {
-						tm.checkpointErrors.Inc()
-					}
-				}
-				if n := completed.Add(1); cfg.InterruptAfter > 0 && n >= cfg.InterruptAfter {
-					interrupt()
-				}
 			}
 		}(shard)
 	}
 	wg.Wait()
-	if interrupted.Load() {
+	c.finish()
+	if c.interrupted.Load() {
 		return out, ErrInterrupted
 	}
 	return out, nil
@@ -447,10 +398,10 @@ func newEngineRng(cfg Config, shard int) *rand.Rand {
 // (Seed, Week, domain name). Both engines reseed with it at the start of
 // every domain, which makes spin dice, response plans and path noise a
 // function of the domain alone — not of scan order or worker count.
+// The engines themselves reseed a reusable lazy Rand (see newLazyRand)
+// with domainSeed instead of calling this; the streams are identical.
 func domainRng(cfg Config, name string) *rand.Rand {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Week)<<32 ^ int64(h.Sum64())))
+	return rand.New(rand.NewSource(domainSeed(cfg, name)))
 }
 
 // engine executes one domain scan. healthy reports whether the engine can

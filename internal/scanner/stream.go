@@ -1,0 +1,344 @@
+package scanner
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicspin/internal/resilience"
+	"quicspin/internal/websim"
+)
+
+// streamBatchSize is the generator→worker hand-off granularity: small
+// enough to keep workers load-balanced and the reorder buffer tiny, large
+// enough to amortise channel operations over fast-engine scans.
+const streamBatchSize = 64
+
+// domainBatch is one contiguous run of population indices, synthesised by
+// the generator in canonical order (with the breaker slots pre-assigned in
+// that order, which is what makes breaker decisions worker-invariant).
+type domainBatch struct {
+	start   int
+	domains []*websim.Domain
+	// keys/pos are the breaker group and in-group position per domain;
+	// nil when the breaker is disabled.
+	keys []string
+	pos  []int
+}
+
+// resultBatch carries one batch's finished results. results may be shorter
+// than dispatched when the campaign was interrupted mid-batch; the missing
+// tail was never scanned.
+type resultBatch struct {
+	start      int
+	dispatched int
+	results    []DomainResult
+}
+
+// campaign is the shared state of one measurement run: configuration,
+// telemetry, the checkpoint journal, the circuit breaker, and interrupt
+// bookkeeping. Both the streaming pipeline (Run, RunStream) and the legacy
+// batch oracle (RunBatch) execute domains through campaign.scanStep, so
+// the two paths cannot drift apart semantically.
+type campaign struct {
+	w        *websim.World
+	cfg      Config
+	tm       *scanTelemetry
+	journal  *resilience.Journal
+	replayed map[string]json.RawMessage
+	br       *resilience.Breaker // nil when disabled
+
+	interrupted atomic.Bool
+	completed   atomic.Int64
+	started     time.Time
+	memStart    runtime.MemStats
+
+	stopWatch chan struct{}
+}
+
+func newCampaign(w *websim.World, cfg Config) (*campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &campaign{w: w, cfg: cfg, tm: newScanTelemetry(cfg.Telemetry)}
+	c.tm.week.Set(int64(cfg.Week))
+	// The domain counter is cumulative across runs sharing a registry (a
+	// multi-week campaign), so the population denominator accumulates too:
+	// the progress ratio stays ≤ 1 for the campaign as a whole.
+	c.tm.population.Add(int64(w.NumDomains()))
+
+	journal, replayed, err := openCheckpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.journal, c.replayed = journal, replayed
+	if cfg.Breaker.Enabled() {
+		c.br = resilience.NewBreaker(cfg.Breaker)
+	}
+	if cfg.Interrupt != nil {
+		c.stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-cfg.Interrupt:
+				c.interrupt()
+			case <-c.stopWatch:
+			}
+		}()
+	}
+	c.started = time.Now()
+	if cfg.Telemetry != nil {
+		runtime.ReadMemStats(&c.memStart)
+	}
+	return c, nil
+}
+
+// interrupt stops the campaign: workers finish their current domain, the
+// generator stops producing, and blocked breaker waiters are released.
+func (c *campaign) interrupt() {
+	if c.interrupted.CompareAndSwap(false, true) && c.br != nil {
+		c.br.Abort()
+	}
+}
+
+// finish records end-of-run telemetry (throughput and allocation deltas).
+func (c *campaign) finish() {
+	if el := time.Since(c.started); el > 0 {
+		c.tm.domainsPerSec.Set(int64(float64(c.completed.Load()) / el.Seconds()))
+	}
+	if c.cfg.Telemetry != nil {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		c.tm.allocBytes.Set(int64(m.TotalAlloc - c.memStart.TotalAlloc))
+		c.tm.allocObjects.Set(int64(m.Mallocs - c.memStart.Mallocs))
+	}
+}
+
+func (c *campaign) close() {
+	if c.stopWatch != nil {
+		close(c.stopWatch)
+	}
+	if c.journal != nil {
+		c.journal.Close()
+	}
+}
+
+// scanStep executes one domain end to end: breaker acquisition, checkpoint
+// replay, the scan itself (with engine rebuild after panics or stalls),
+// breaker recording, journaling and telemetry. ok is false when the
+// campaign was aborted while waiting on the breaker; the caller's worker
+// should stop scanning.
+func (c *campaign) scanStep(eng *engine, shard int, d *websim.Domain, key string, pos int) (res DomainResult, ok bool) {
+	// The breaker serialises decisions in canonical domain order per
+	// group; batches are dispatched and processed in ascending index
+	// order, so waits are only ever on strictly-earlier indices and
+	// cannot deadlock.
+	var dec resilience.Decision
+	if key != "" {
+		dec = c.br.Acquire(key, pos)
+		if dec.Aborted {
+			return DomainResult{}, false
+		}
+		if dec.Probe {
+			c.tm.breakerProbes.Inc()
+		}
+	}
+	res, fromCheckpoint := replayResult(c.replayed, c.cfg, d)
+	if fromCheckpoint {
+		c.tm.resumed.Inc()
+	} else if dec.Skip {
+		res = breakerSkipResult(d)
+		c.tm.breakerSkipped.Inc()
+	} else {
+		var panicked bool
+		res, panicked = scanSafely(*eng, c.cfg, d)
+		if panicked {
+			c.tm.panics.Inc()
+		}
+		if panicked || !(*eng).healthy() {
+			// The engine's loop or internal state cannot be trusted after
+			// a panic or stall: rebuild it. Per-domain rng derivation
+			// keeps every other domain's result unchanged.
+			*eng = buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm)
+		}
+	}
+	if key != "" {
+		// Replayed results report the same outcome their live scan did,
+		// so the breaker replays to the same state.
+		if ev := c.br.Record(key, pos, domainOutcome(&res, c.cfg)); ev.Opened {
+			c.tm.breakerOpen.Inc()
+		}
+	}
+	c.tm.recordDomain(&res)
+	if c.journal != nil && !fromCheckpoint {
+		if err := c.journal.Append(shard, checkpointKey(c.cfg, d.Name), &res); err != nil {
+			c.tm.checkpointErrors.Inc()
+		}
+	}
+	if n := c.completed.Add(1); c.cfg.InterruptAfter > 0 && n >= c.cfg.InterruptAfter {
+		c.interrupt()
+	}
+	return res, true
+}
+
+// worker scans batches until the work channel closes. After an interrupt it
+// keeps draining the channel (emitting truncated batches without scanning)
+// so the generator can never block on a send forever.
+func (c *campaign) worker(shard int, work <-chan domainBatch, results chan<- resultBatch) {
+	c.tm.workersActive.Add(1)
+	defer c.tm.workersActive.Add(-1)
+	eng := buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm)
+	for b := range work {
+		rb := resultBatch{start: b.start, dispatched: len(b.domains)}
+		rb.results = make([]DomainResult, 0, len(b.domains))
+		for j, d := range b.domains {
+			if c.interrupted.Load() {
+				break
+			}
+			key, pos := "", 0
+			if b.keys != nil {
+				key, pos = b.keys[j], b.pos[j]
+			}
+			res, ok := c.scanStep(&eng, shard, d, key, pos)
+			if !ok {
+				break
+			}
+			rb.results = append(rb.results, res)
+		}
+		results <- rb
+	}
+}
+
+// runPipeline executes the streaming campaign: a generator synthesises
+// domains on demand in canonical order (lazy worlds never materialise
+// their population), a worker pool scans them, and deliver consumes
+// finished batches on the caller's goroutine in completion order. Memory
+// stays bounded by workers + channel capacities, independent of the
+// population size.
+func (c *campaign) runPipeline(deliver func(rb *resultBatch)) {
+	n := c.w.NumDomains()
+	nw := c.cfg.workers()
+	if nw > n {
+		nw = 1
+	}
+	work := make(chan domainBatch, nw)
+	results := make(chan resultBatch, nw)
+	var gateNext map[string]int
+	if c.br != nil {
+		gateNext = map[string]int{}
+	}
+	go func() {
+		defer close(work)
+		for start := 0; start < n && !c.interrupted.Load(); start += streamBatchSize {
+			end := min(start+streamBatchSize, n)
+			b := domainBatch{start: start, domains: make([]*websim.Domain, 0, end-start)}
+			if gateNext != nil {
+				b.keys = make([]string, 0, end-start)
+				b.pos = make([]int, 0, end-start)
+			}
+			for i := start; i < end; i++ {
+				d := c.w.DomainAt(i)
+				b.domains = append(b.domains, d)
+				if gateNext != nil {
+					key := breakerKey(c.w, c.cfg, d)
+					p := 0
+					if key != "" {
+						p = gateNext[key]
+						gateNext[key]++
+					}
+					b.keys = append(b.keys, key)
+					b.pos = append(b.pos, p)
+				}
+			}
+			work <- b
+		}
+	}()
+	var wg sync.WaitGroup
+	for shard := 0; shard < nw; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			c.worker(shard, work, results)
+		}(shard)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	delivered := 0
+	var lastMem time.Time
+	for rb := range results {
+		deliver(&rb)
+		delivered += len(rb.results)
+		el := time.Since(c.started)
+		if el > 0 {
+			c.tm.domainsPerSec.Set(int64(float64(delivered) / el.Seconds()))
+		}
+		// Keep the allocation gauges live for mid-scan scrapes, but
+		// throttle ReadMemStats (it stops the world) to once a second.
+		if c.cfg.Telemetry != nil && time.Since(lastMem) >= time.Second {
+			lastMem = time.Now()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			c.tm.allocBytes.Set(int64(m.TotalAlloc - c.memStart.TotalAlloc))
+			c.tm.allocObjects.Set(int64(m.Mallocs - c.memStart.Mallocs))
+		}
+	}
+}
+
+// RunStream executes a measurement campaign and hands every DomainResult
+// to sink in canonical population order, without retaining earlier
+// results: peak memory is bounded by the worker pool and a small reorder
+// buffer regardless of population size. Pair it with a lazy world
+// (websim.GenerateLazy) and the analysis accumulators for end-to-end
+// bounded-memory campaigns.
+//
+// sink runs on the caller's goroutine. A non-nil sink error stops the
+// campaign and is returned. When the campaign is interrupted, sink
+// receives the longest completed prefix of the population and RunStream
+// returns ErrInterrupted; completed domains beyond the first gap are in
+// the checkpoint journal (when configured) but are not delivered.
+func RunStream(w *websim.World, cfg Config, sink func(i int, res *DomainResult) error) error {
+	c, err := newCampaign(w, cfg)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	pending := map[int]resultBatch{}
+	next := 0 // start index of the next batch to deliver
+	stopped := false
+	var sinkErr error
+	c.runPipeline(func(rb *resultBatch) {
+		pending[rb.start] = *rb
+		for {
+			b, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			for j := range b.results {
+				if stopped {
+					break
+				}
+				if err := sink(b.start+j, &b.results[j]); err != nil {
+					sinkErr = err
+					stopped = true
+					c.interrupt()
+				}
+			}
+			if len(b.results) < b.dispatched {
+				stopped = true // interrupted mid-batch: a gap follows
+			}
+			next = b.start + b.dispatched
+		}
+	})
+	c.finish()
+	if sinkErr != nil {
+		return sinkErr
+	}
+	if c.interrupted.Load() {
+		return ErrInterrupted
+	}
+	return nil
+}

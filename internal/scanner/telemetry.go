@@ -35,6 +35,12 @@ import (
 //	domains_resumed_total               domains replayed from a checkpoint
 //	checkpoint_errors_total             journal write failures (scan continues)
 //
+// Performance metric names (see EXPERIMENTS.md "Performance & benchmarking").
+//
+//	scan_domains_per_sec                campaign throughput (updated per batch)
+//	scan_alloc_bytes                    heap bytes allocated by the run
+//	scan_allocs                         heap objects allocated by the run
+//
 // Hostile-endpoint metric names (see README "Hostile endpoints").
 //
 //	hostile_detected_total{profile}     connections classified hostile
@@ -113,6 +119,10 @@ type scanTelemetry struct {
 
 	hostileDetected map[string]*telemetry.Counter
 	budgetExceeded  map[string]*telemetry.Counter
+
+	domainsPerSec *telemetry.Gauge
+	allocBytes    *telemetry.Gauge
+	allocObjects  *telemetry.Gauge
 }
 
 func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
@@ -145,6 +155,9 @@ func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
 		checkpointErrors: reg.Counter("checkpoint_errors_total"),
 		hostileDetected:  map[string]*telemetry.Counter{},
 		budgetExceeded:   map[string]*telemetry.Counter{},
+		domainsPerSec:    reg.Gauge("scan_domains_per_sec"),
+		allocBytes:       reg.Gauge("scan_alloc_bytes"),
+		allocObjects:     reg.Gauge("scan_allocs"),
 	}
 	for _, class := range errClasses {
 		t.errs[class] = reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", class))

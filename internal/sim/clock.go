@@ -24,10 +24,13 @@ type RealClock struct{}
 // Now implements Clock.
 func (RealClock) Now() time.Time { return time.Now() }
 
-// event is a scheduled callback in a virtual-time Loop.
+// event is a scheduled callback in a virtual-time Loop. Events are recycled
+// through the Loop's freelist once fired or reaped; gen distinguishes the
+// incarnations so a stale Timer cannot cancel a recycled event.
 type event struct {
 	at  time.Time
 	seq uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	gen uint64 // incarnation counter, bumped on every recycle
 	fn  func(now time.Time)
 	// canceled marks an event removed before firing.
 	canceled bool
@@ -71,6 +74,10 @@ type Loop struct {
 	now   time.Time
 	seq   uint64
 	queue eventQueue
+	// free recycles fired/reaped events: a campaign schedules millions of
+	// short-lived timers, and reusing their event structs keeps the loop's
+	// steady-state allocation at zero.
+	free []*event
 }
 
 // NewLoop returns a Loop whose clock starts at start.
@@ -81,13 +88,19 @@ func NewLoop(start time.Time) *Loop {
 // Now implements Clock.
 func (l *Loop) Now() time.Time { return l.now }
 
-// Timer is a handle to a scheduled callback that can be canceled.
-type Timer struct{ e *event }
+// Timer is a value handle to a scheduled callback that can be canceled. The
+// zero Timer is valid and Stop on it is a no-op. Timers stay valid after the
+// event fires: the generation check makes Stop on a recycled event a no-op
+// instead of canceling an unrelated later event.
+type Timer struct {
+	e   *event
+	gen uint64
+}
 
 // Stop cancels the timer. Stopping an already-fired or already-stopped timer
 // is a no-op. It reports whether the timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.canceled {
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.gen != t.gen || t.e.canceled {
 		return false
 	}
 	t.e.canceled = true
@@ -96,19 +109,35 @@ func (t *Timer) Stop() bool {
 
 // At schedules fn to run when the virtual clock reaches at. Scheduling in
 // the past runs the callback at the current time on the next step.
-func (l *Loop) At(at time.Time, fn func(now time.Time)) *Timer {
+func (l *Loop) At(at time.Time, fn func(now time.Time)) Timer {
 	if at.Before(l.now) {
 		at = l.now
 	}
-	e := &event{at: at, seq: l.seq, fn: fn}
+	var e *event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free = l.free[:n-1]
+		e.at, e.fn, e.canceled = at, fn, false
+	} else {
+		e = &event{at: at, fn: fn}
+	}
+	e.seq = l.seq
 	l.seq++
 	heap.Push(&l.queue, e)
-	return &Timer{e: e}
+	return Timer{e: e, gen: e.gen}
 }
 
 // After schedules fn to run after d of virtual time.
-func (l *Loop) After(d time.Duration, fn func(now time.Time)) *Timer {
+func (l *Loop) After(d time.Duration, fn func(now time.Time)) Timer {
 	return l.At(l.now.Add(d), fn)
+}
+
+// recycle returns a popped event to the freelist, invalidating outstanding
+// Timer handles to it.
+func (l *Loop) recycle(e *event) {
+	e.gen++
+	e.fn = nil // release the closure
+	l.free = append(l.free, e)
 }
 
 // Step fires the earliest pending event, advancing the clock to its
@@ -117,10 +146,15 @@ func (l *Loop) Step() bool {
 	for l.queue.Len() > 0 {
 		e := heap.Pop(&l.queue).(*event)
 		if e.canceled {
+			l.recycle(e)
 			continue
 		}
 		l.now = e.at
-		e.fn(l.now)
+		fn := e.fn
+		// Recycle before firing: the callback may schedule new events, and
+		// the freed struct is immediately reusable for them.
+		l.recycle(e)
+		fn(l.now)
 		return true
 	}
 	return false
@@ -142,7 +176,7 @@ func (l *Loop) RunUntil(t time.Time) {
 	for l.queue.Len() > 0 {
 		e := l.queue[0]
 		if e.canceled {
-			heap.Pop(&l.queue)
+			l.recycle(heap.Pop(&l.queue).(*event))
 			continue
 		}
 		if e.at.After(t) {

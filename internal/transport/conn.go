@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -126,6 +127,21 @@ type Conn struct {
 	malformedDatagrams int
 	malformedFrames    int
 	firstRecv          time.Time
+
+	// Hot-path scratch. A campaign-scale scan pushes millions of packets
+	// through Receive/Poll; everything per-packet that is not retained
+	// (headers, parsed frames, packet payloads, datagram buffers) is
+	// recycled on the connection instead of allocated per call.
+	hdrScratch     wire.Header     // receive-side header decode
+	arena          wire.FrameArena // receive-side frame decode
+	sendHdr        wire.Header     // send-side header encode
+	ackScratch     wire.AckFrame   // outgoing ACK frame (never retransmitted)
+	payloadScratch []byte          // packet payload assembly
+	framesScratch  []wire.Frame    // framesFor result list
+	idsScratch     []uint64        // sorted stream IDs in framesFor
+	dgramBufs      [][]byte        // datagram buffers, rotated per Poll
+	dgramUsed      int
+	pollOut        [][]byte // Poll result list
 
 	stats Stats
 }
@@ -301,7 +317,8 @@ func (c *Conn) Receive(now time.Time, datagram []byte) error {
 				largest = c.recv[spaceAppData].largest
 			}
 		}
-		hdr, payload, consumed, err := wire.ParseHeader(rest, c.scid.Len(), largest)
+		hdr := &c.hdrScratch
+		payload, consumed, err := wire.ParseHeaderInto(hdr, rest, c.scid.Len(), largest)
 		if err != nil {
 			c.malformedDatagrams++
 			if b.MaxMalformed > 0 && c.malformedDatagrams > b.MaxMalformed {
@@ -344,7 +361,7 @@ func (c *Conn) handlePacket(now time.Time, hdr *wire.Header, payload []byte) err
 		// drop; the peer retransmits.
 		return nil
 	}
-	frames, err := wire.ParseFrames(payload)
+	frames, err := c.arena.Parse(payload)
 	if err != nil {
 		c.malformedFrames++
 		if b := c.cfg.Budget; b.MaxMalformed > 0 && c.malformedFrames > b.MaxMalformed {
@@ -406,7 +423,7 @@ func (c *Conn) handlePacket(now time.Time, hdr *wire.Header, payload []byte) err
 
 func (c *Conn) handleFrame(now time.Time, sp spaceID, f wire.Frame) error {
 	switch fr := f.(type) {
-	case wire.PaddingFrame, wire.PingFrame:
+	case wire.PaddingFrame, *wire.PaddingFrame, wire.PingFrame:
 		return nil
 	case *wire.AckFrame:
 		c.handleAck(now, sp, fr)
@@ -585,6 +602,10 @@ func hasMsg(r *recvStream, msg []byte) bool {
 
 // Poll returns all datagrams ready to send at time now. Call it after every
 // Receive/Advance and whenever application data was queued.
+//
+// The returned slice and the datagram buffers it holds are reused by the
+// next Poll call on this connection: consume (send or copy) them before
+// polling again.
 func (c *Conn) Poll(now time.Time) [][]byte {
 	if c.state == stateClosed || c.state == stateDraining {
 		return nil
@@ -596,7 +617,8 @@ func (c *Conn) Poll(now time.Time) [][]byte {
 		c.closeSent = true
 		return [][]byte{c.buildCloseDatagram(now)}
 	}
-	var out [][]byte
+	out := c.pollOut[:0]
+	c.dgramUsed = 0
 	for len(out) < 64 {
 		d := c.buildDatagram(now)
 		if d == nil {
@@ -607,6 +629,7 @@ func (c *Conn) Poll(now time.Time) [][]byte {
 		out = append(out, d)
 		c.idleDeadline = now.Add(c.cfg.idleTimeout())
 	}
+	c.pollOut = out
 	return out
 }
 
@@ -629,10 +652,17 @@ func (c *Conn) buildCloseDatagram(now time.Time) []byte {
 }
 
 func (c *Conn) buildDatagram(now time.Time) []byte {
+	// Datagram buffers rotate through a per-connection pool: the slot is
+	// claimed only if the datagram turns out non-empty, and the (possibly
+	// grown) buffer is stored back for the next Poll cycle.
+	idx := c.dgramUsed
 	var buf []byte
+	if idx < len(c.dgramBufs) {
+		buf = c.dgramBufs[idx][:0]
+	}
 	budget := MaxDatagramSize
 
-	for _, sp := range []spaceID{spaceInitial, spaceHandshake} {
+	for _, sp := range [...]spaceID{spaceInitial, spaceHandshake} {
 		if !c.spaceActive[sp] {
 			continue
 		}
@@ -646,21 +676,26 @@ func (c *Conn) buildDatagram(now time.Time) []byte {
 			// must be at least 1200 bytes. Pad the Initial packet itself.
 			padTo = MinInitialSize - len(buf)
 		}
-		pkt := c.encodeLong(sp, frames, elicits, now, padTo)
-		buf = append(buf, pkt...)
-		budget -= len(pkt)
+		start := len(buf)
+		buf = c.encodeLong(buf, sp, frames, elicits, now, padTo)
+		budget -= len(buf) - start
 	}
 
 	if c.spaceActive[spaceAppData] && c.canSendAppData() {
 		frames, elicits := c.framesFor(spaceAppData, now, budget-40)
 		if len(frames) > 0 {
-			pkt := c.encodeShort(frames, elicits, now)
-			buf = append(buf, pkt...)
+			buf = c.encodeShort(buf, frames, elicits, now)
 		}
 	}
 
 	if len(buf) == 0 {
 		return nil
+	}
+	c.dgramUsed = idx + 1
+	if idx < len(c.dgramBufs) {
+		c.dgramBufs[idx] = buf
+	} else {
+		c.dgramBufs = append(c.dgramBufs, buf)
 	}
 	return buf
 }
@@ -679,7 +714,10 @@ func (c *Conn) framesFor(sp spaceID, now time.Time, budget int) ([]wire.Frame, b
 	if budget < 48 {
 		return nil, false
 	}
-	var frames []wire.Frame
+	// frames is scratch reused across packets: encode and recordSent consume
+	// it before the next framesFor call, and recordSent copies out the
+	// retransmittable (retained) frames.
+	frames := c.framesScratch[:0]
 	used := 0
 	elicits := false
 
@@ -715,11 +753,12 @@ func (c *Conn) framesFor(sp spaceID, now time.Time, budget int) ([]wire.Frame, b
 			elicits = true
 		}
 		// Stream data in stream-ID order for determinism.
-		ids := make([]uint64, 0, len(c.streamsSend))
+		ids := c.idsScratch[:0]
 		for id := range c.streamsSend {
 			ids = append(ids, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
+		c.idsScratch = ids
 		for _, id := range ids {
 			for used < budget-64 {
 				chunk, off, fin, ok := c.streamsSend[id].pending(budget - 64 - used)
@@ -742,15 +781,21 @@ func (c *Conn) framesFor(sp spaceID, now time.Time, budget int) ([]wire.Frame, b
 	}
 
 	if len(frames) == 0 && !wantAck {
+		c.framesScratch = frames
 		return nil, false
 	}
 	if len(rs.ranges) > 0 && (wantAck || elicits) {
-		ack := rs.ackFrame(now)
-		frames = append([]wire.Frame{ack}, frames...)
+		// The outgoing ACK is never retransmitted (recordSent skips it), so
+		// one scratch frame per connection suffices; shift-prepend it.
+		rs.ackFrameInto(&c.ackScratch, now)
+		frames = append(frames, nil)
+		copy(frames[1:], frames)
+		frames[0] = &c.ackScratch
 		rs.ackQueued = false
 		rs.ackDeadline = time.Time{}
 		rs.unackedElicits = 0
 	}
+	c.framesScratch = frames
 	return frames, elicits
 }
 
@@ -780,13 +825,16 @@ func frameSize(f wire.Frame) int {
 	}
 }
 
-func (c *Conn) encodeLong(sp spaceID, frames []wire.Frame, elicits bool, now time.Time, padTo int) []byte {
+// encodeLong appends one long-header packet to buf and returns the extended
+// buffer.
+func (c *Conn) encodeLong(buf []byte, sp spaceID, frames []wire.Frame, elicits bool, now time.Time, padTo int) []byte {
 	ss := &c.send[sp]
 	typ := byte(wire.TypeInitial)
 	if sp == spaceHandshake {
 		typ = wire.TypeHandshake
 	}
-	hdr := &wire.Header{
+	hdr := &c.sendHdr
+	*hdr = wire.Header{
 		IsLong:       true,
 		Type:         typ,
 		Version:      wire.Version1,
@@ -794,7 +842,7 @@ func (c *Conn) encodeLong(sp spaceID, frames []wire.Frame, elicits bool, now tim
 		SrcConnID:    c.scid,
 		PacketNumber: ss.nextPN,
 	}
-	var payload []byte
+	payload := c.payloadScratch[:0]
 	for _, f := range frames {
 		payload = f.Append(payload)
 	}
@@ -816,17 +864,22 @@ func (c *Conn) encodeLong(sp spaceID, frames []wire.Frame, elicits bool, now tim
 			payload = wire.PaddingFrame{N: padTo - total}.Append(payload)
 		}
 	}
-	buf, err := wire.AppendLongHeader(nil, hdr, payload, ss.largestAckedOrSentinel())
+	start := len(buf)
+	buf, err := wire.AppendLongHeader(buf, hdr, payload, ss.largestAckedOrSentinel())
 	if err != nil {
 		panic(err) // our own headers are always valid
 	}
-	c.recordSent(sp, ss, hdr, frames, elicits, now, len(buf))
+	c.payloadScratch = payload
+	c.recordSent(sp, ss, hdr, frames, elicits, now, len(buf)-start)
 	return buf
 }
 
-func (c *Conn) encodeShort(frames []wire.Frame, elicits bool, now time.Time) []byte {
+// encodeShort appends one short-header packet to buf and returns the
+// extended buffer.
+func (c *Conn) encodeShort(buf []byte, frames []wire.Frame, elicits bool, now time.Time) []byte {
 	ss := &c.send[spaceAppData]
-	hdr := &wire.Header{
+	hdr := &c.sendHdr
+	*hdr = wire.Header{
 		DstConnID:    c.dstCID,
 		PacketNumber: ss.nextPN,
 		SpinBit:      c.spin.Next(),
@@ -834,30 +887,32 @@ func (c *Conn) encodeShort(frames []wire.Frame, elicits bool, now time.Time) []b
 	if c.cfg.EnableVEC && c.spin.Spinning() {
 		hdr.Reserved = c.vec.Next(hdr.SpinBit)
 	}
-	var payload []byte
+	payload := c.payloadScratch[:0]
 	for _, f := range frames {
 		payload = f.Append(payload)
 	}
-	buf, err := wire.AppendShortHeader(nil, hdr, payload, ss.largestAckedOrSentinel())
+	start := len(buf)
+	buf, err := wire.AppendShortHeader(buf, hdr, payload, ss.largestAckedOrSentinel())
 	if err != nil {
 		panic(err)
 	}
+	c.payloadScratch = payload
 	c.stats.ShortSent++
-	c.recordSent(spaceAppData, ss, hdr, frames, elicits, now, len(buf))
+	c.recordSent(spaceAppData, ss, hdr, frames, elicits, now, len(buf)-start)
 	return buf
 }
 
 func (c *Conn) recordSent(sp spaceID, ss *sendState, hdr *wire.Header, frames []wire.Frame, elicits bool, now time.Time, size int) {
-	var retrans []wire.Frame
+	p := ss.take()
+	retrans := p.frames[:0]
 	for _, f := range frames {
 		switch f.(type) {
 		case *wire.CryptoFrame, *wire.StreamFrame, wire.HandshakeDoneFrame, wire.PingFrame, *wire.NewTokenFrame:
 			retrans = append(retrans, f)
 		}
 	}
-	ss.inFlight = append(ss.inFlight, &sentPacket{
-		pn: ss.nextPN, sentAt: now, ackEliciting: elicits, size: size, frames: retrans,
-	})
+	*p = sentPacket{pn: ss.nextPN, sentAt: now, ackEliciting: elicits, size: size, frames: retrans}
+	ss.inFlight = append(ss.inFlight, p)
 	ss.nextPN++
 	c.stats.PacketsSent++
 	c.qlogPacket(qlog.EventPacketSent, now, hdr, size)
@@ -969,12 +1024,14 @@ func (c *Conn) onPTO(now time.Time) {
 			continue
 		}
 		if p := c.send[sp].oldestUnacked(); p != nil {
-			// Retransmit the oldest unacked packet's payload.
+			// Retransmit the oldest unacked packet's payload. Read the frame
+			// count before compact recycles p into the sent-packet freelist.
 			p.declared = true
 			c.stats.PacketsLost++
 			c.requeue(sp, p)
+			hadFrames := len(p.frames) > 0
 			c.send[sp].compact()
-			if len(p.frames) == 0 {
+			if !hadFrames {
 				c.probePing[sp] = true
 			}
 			fired = true

@@ -110,16 +110,26 @@ func (r *recvState) trim() {
 
 // ackFrame builds the ACK frame for this space, or nil if nothing received.
 func (r *recvState) ackFrame(now time.Time) *wire.AckFrame {
-	if len(r.ranges) == 0 {
+	f := &wire.AckFrame{}
+	if !r.ackFrameInto(f, now) {
 		return nil
+	}
+	return f
+}
+
+// ackFrameInto fills f with this space's ACK (reusing f.Ranges' backing
+// array) and reports whether anything was received to acknowledge.
+func (r *recvState) ackFrameInto(f *wire.AckFrame, now time.Time) bool {
+	if len(r.ranges) == 0 {
+		return false
 	}
 	delay := now.Sub(r.largestAt)
 	if delay < 0 {
 		delay = 0
 	}
-	ranges := make([]wire.AckRange, len(r.ranges))
-	copy(ranges, r.ranges)
-	return &wire.AckFrame{Ranges: ranges, DelayMicros: uint64(delay / time.Microsecond)}
+	f.Ranges = append(f.Ranges[:0], r.ranges...)
+	f.DelayMicros = uint64(delay / time.Microsecond)
+	return true
 }
 
 // sendState tracks sent packets awaiting acknowledgement in one space.
@@ -128,6 +138,20 @@ type sendState struct {
 	largestAcked uint64
 	hasAcked     bool
 	inFlight     []*sentPacket
+	// free recycles declared sentPacket records (and their frames backing
+	// arrays) dropped by compact.
+	free []*sentPacket
+}
+
+// take returns a recycled or fresh sentPacket with an empty frames slice.
+func (s *sendState) take() *sentPacket {
+	n := len(s.free)
+	if n == 0 {
+		return &sentPacket{}
+	}
+	p := s.free[n-1]
+	s.free = s.free[:n-1]
+	return p
 }
 
 func (s *sendState) largestAckedOrSentinel() uint64 {
@@ -147,13 +171,22 @@ func (s *sendState) oldestUnacked() *sentPacket {
 	return nil
 }
 
-// compact drops declared packets from the in-flight list.
+// compact drops declared packets from the in-flight list, recycling their
+// records. Callers must not hold on to a declared *sentPacket across a
+// compact call.
 func (s *sendState) compact() {
 	out := s.inFlight[:0]
 	for _, p := range s.inFlight {
 		if !p.declared {
 			out = append(out, p)
+			continue
 		}
+		fr := p.frames[:0]
+		*p = sentPacket{frames: fr}
+		s.free = append(s.free, p)
+	}
+	for i := len(out); i < len(s.inFlight); i++ {
+		s.inFlight[i] = nil
 	}
 	s.inFlight = out
 }

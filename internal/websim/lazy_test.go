@@ -1,0 +1,193 @@
+package websim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func lazyTestWorld() *World {
+	p := DefaultProfile()
+	p.Scale = 20000
+	return GenerateLazy(p)
+}
+
+// Lazy synthesis must be a pure function of (seed, index): repeated
+// lookups of the same domain agree in every field, including redirects.
+func TestLazyDomainAtRepeatable(t *testing.T) {
+	w := lazyTestWorld()
+	n := w.NumDomains()
+	if n == 0 {
+		t.Fatal("empty lazy population")
+	}
+	step := n/200 + 1
+	for i := 0; i < n; i += step {
+		a, b := w.DomainAt(i), w.DomainAt(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("domain %d not repeatable: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// The org layer of a lazy world is byte-identical to the eager world of
+// the same profile: org draws precede domain draws in Generate's stream.
+func TestLazyOrgLayerMatchesEager(t *testing.T) {
+	p := DefaultProfile()
+	p.Scale = 20000
+	eager, lazy := Generate(p), GenerateLazy(p)
+	if len(eager.Orgs) != len(lazy.Orgs) {
+		t.Fatalf("org count: eager %d lazy %d", len(eager.Orgs), len(lazy.Orgs))
+	}
+	for i := range eager.Orgs {
+		e, l := eager.Orgs[i], lazy.Orgs[i]
+		if e.Name != l.Name || e.V4Prefix != l.V4Prefix || e.V6Prefix != l.V6Prefix ||
+			len(e.v4Pool) != len(l.v4Pool) || len(e.v6Pool) != len(l.v6Pool) {
+			t.Errorf("org %d differs: eager %s lazy %s", i, e.Name, l.Name)
+		}
+	}
+	if eager.NumDomains() != lazy.NumDomains() {
+		t.Errorf("population: eager %d lazy %d", eager.NumDomains(), lazy.NumDomains())
+	}
+}
+
+// DomainByHost must invert DomainAt across the whole population, and
+// reject names that were never generated.
+func TestLazyDomainByHostRoundTrip(t *testing.T) {
+	w := lazyTestWorld()
+	n := w.NumDomains()
+	step := n/500 + 1
+	for i := 0; i < n; i += step {
+		d := w.DomainAt(i)
+		got := w.DomainByHost(d.Host())
+		if got == nil {
+			t.Fatalf("domain %d (%s) not found by host", i, d.Host())
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Fatalf("domain %d round trip differs: %+v vs %+v", i, got, d)
+		}
+	}
+	for _, miss := range []string{"www.top0.example", "nope", "www.site99999999.com", "www.bogus7.net"} {
+		if d := w.DomainByHost(miss); d != nil && d.Name == miss {
+			t.Errorf("unexpected hit for %q", miss)
+		}
+	}
+}
+
+// DNS answers must agree with the domain's synthesised addresses.
+func TestLazyDNSConsistency(t *testing.T) {
+	w := lazyTestWorld()
+	zone := w.DNSBackend()
+	n := w.NumDomains()
+	step := n/500 + 1
+	for i := 0; i < n; i += step {
+		d := w.DomainAt(i)
+		rec, ok := zone.Zone(d.Host())
+		if !d.Resolves {
+			if ok {
+				t.Fatalf("NXDOMAIN %s resolved", d.Host())
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("resolving domain %s has no zone record", d.Host())
+		}
+		if d.V4.IsValid() != (len(rec.A) == 1) || (d.V4.IsValid() && rec.A[0] != d.V4) {
+			t.Fatalf("%s A record mismatch: %v vs %v", d.Host(), rec.A, d.V4)
+		}
+		if d.V6.IsValid() != (len(rec.AAAA) == 1) || (d.V6.IsValid() && rec.AAAA[0] != d.V6) {
+			t.Fatalf("%s AAAA record mismatch: %v vs %v", d.Host(), rec.AAAA, d.V6)
+		}
+	}
+}
+
+// Every address a domain resolves to must host a consistent server: same
+// deployment on repeated lookups, org matching the owning prefix, and the
+// per-domain v6 address fronting the same stack as the domain's v4 server.
+func TestLazyServerConsistency(t *testing.T) {
+	w := lazyTestWorld()
+	n := w.NumDomains()
+	step := n/500 + 1
+	checked := 0
+	for i := 0; i < n; i += step {
+		d := w.DomainAt(i)
+		if !d.V4.IsValid() {
+			continue
+		}
+		s := w.ServerAt(d.V4)
+		if s == nil {
+			t.Fatalf("domain %s: no server at %s", d.Name, d.V4)
+		}
+		if !reflect.DeepEqual(s, w.ServerAt(d.V4)) {
+			t.Fatalf("server at %s not repeatable", d.V4)
+		}
+		if s.Org != d.Org {
+			t.Fatalf("server org %s != domain org %s", s.Org.Name, d.Org.Name)
+		}
+		if s.QUIC != d.Org.QUICHosting {
+			t.Fatalf("server QUIC %v != org hosting %v", s.QUIC, d.Org.QUICHosting)
+		}
+		if d.V6.IsValid() && d.Org.V6PerDomain {
+			s6 := w.ServerAt(d.V6)
+			if s6 == nil {
+				t.Fatalf("domain %s: no server at per-domain v6 %s", d.Name, d.V6)
+			}
+			if s6.Mode != s.Mode || s6.BaseRTT != s.BaseRTT || s6.Software != s.Software {
+				t.Fatalf("per-domain v6 server diverges from v4: %+v vs %+v", s6, s)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no resolving domains sampled")
+	}
+}
+
+// Cross-host redirect targets must themselves exist, resolve, and host
+// QUIC — the invariant eager generation enforces when drawing targets.
+func TestLazyRedirectTargetsValid(t *testing.T) {
+	w := lazyTestWorld()
+	n := w.NumDomains()
+	cross := 0
+	for i := 0; i < n && cross < 50; i++ {
+		d := w.DomainAt(i)
+		if d.RedirectTo == "" || d.RedirectTo == d.Name {
+			continue
+		}
+		cross++
+		tgt := w.DomainByHost("www." + d.RedirectTo)
+		if tgt == nil {
+			t.Fatalf("redirect target %s of %s does not exist", d.RedirectTo, d.Name)
+		}
+		if !tgt.Resolves || tgt.Org == nil || !tgt.Org.QUICHosting {
+			t.Fatalf("redirect target %s is not a QUIC host", d.RedirectTo)
+		}
+	}
+	if cross == 0 {
+		t.Error("no cross-host redirects found in lazy population")
+	}
+}
+
+// The lazy population's aggregate shape (resolve/QUIC rates) must stay in
+// the profile's statistical neighbourhood even though the draws are keyed
+// per domain instead of sequential.
+func TestLazyPopulationShape(t *testing.T) {
+	w := lazyTestWorld()
+	n := w.NumDomains()
+	resolved, quic := 0, 0
+	for i := 0; i < n; i++ {
+		d := w.DomainAt(i)
+		if d.Resolves {
+			resolved++
+			if d.Org != nil && d.Org.QUICHosting {
+				quic++
+			}
+		}
+	}
+	resRate := float64(resolved) / float64(n)
+	if resRate < 0.40 || resRate > 0.90 {
+		t.Errorf("resolve rate %.3f outside plausible band", resRate)
+	}
+	quicRate := float64(quic) / float64(resolved)
+	if quicRate < 0.05 || quicRate > 0.60 {
+		t.Errorf("QUIC rate %.3f outside plausible band", quicRate)
+	}
+}

@@ -211,7 +211,10 @@ type Domain struct {
 // Host returns the www-form name the scanner queries.
 func (d *Domain) Host() string { return targets.PrependWWW(d.Name) }
 
-// World is a fully generated synthetic web.
+// World is a fully generated synthetic web. Worlds built by Generate
+// materialise every domain and server up front; worlds built by
+// GenerateLazy synthesise them on demand (Domains stays nil — use
+// NumDomains and DomainAt).
 type World struct {
 	Profile    Profile
 	Orgs       []*Org
@@ -221,6 +224,7 @@ type World struct {
 	zone       dns.MapBackend
 	asResolver *asdb.Resolver
 	prefixes   map[netip.Prefix]uint32
+	lazy       *lazyState
 }
 
 // Generate builds a world from the profile. Equal profiles yield identical
@@ -527,8 +531,31 @@ func (w *World) buildASDB() {
 
 // --- accessors ----------------------------------------------------------
 
+// NumDomains returns the population size without materialising it.
+func (w *World) NumDomains() int {
+	if w.lazy != nil {
+		return w.lazy.topN + w.lazy.zoneN
+	}
+	return len(w.Domains)
+}
+
+// DomainAt returns the i-th domain of the canonical population order. On
+// eagerly generated worlds it indexes Domains; on lazy worlds it
+// synthesises the domain on demand (repeated calls return equal values).
+func (w *World) DomainAt(i int) *Domain {
+	if w.lazy != nil {
+		return w.lazyDomainAt(i)
+	}
+	return w.Domains[i]
+}
+
 // DNSBackend exposes the world's zone data to a dns.Resolver.
-func (w *World) DNSBackend() dns.Backend { return w.zone }
+func (w *World) DNSBackend() dns.Backend {
+	if w.lazy != nil {
+		return lazyZone{w}
+	}
+	return w.zone
+}
 
 // ASDB returns the IP→ASN→org attribution database (the RIS + as2org
 // substitute).
@@ -538,20 +565,32 @@ func (w *World) ASDB() *asdb.Resolver { return w.asResolver }
 func (w *World) Prefixes() map[netip.Prefix]uint32 { return w.prefixes }
 
 // ServerAt returns the server at addr, or nil (blackhole / unallocated).
-func (w *World) ServerAt(addr netip.Addr) *Server { return w.servers[addr] }
+func (w *World) ServerAt(addr netip.Addr) *Server {
+	if w.lazy != nil {
+		return w.lazyServerAt(addr)
+	}
+	return w.servers[addr]
+}
 
-// Servers returns the full server map keyed by address.
+// Servers returns the full server map keyed by address. Lazy worlds never
+// materialise their server set and return nil.
 func (w *World) Servers() map[netip.Addr]*Server { return w.servers }
 
 // DomainByHost maps a www-form host name to its domain.
-func (w *World) DomainByHost(host string) *Domain { return w.byHost[host] }
+func (w *World) DomainByHost(host string) *Domain {
+	if w.lazy != nil {
+		return w.lazyDomainByHost(host)
+	}
+	return w.byHost[host]
+}
 
 // Lists materialises the measurement input lists: one merged toplist and
 // one zone file per CZDS TLD, exactly the shape internal/targets consumes.
 func (w *World) Lists() []*targets.List {
 	top := &targets.List{Name: "toplists", Kind: targets.Toplist}
 	zones := map[string]*targets.List{}
-	for _, d := range w.Domains {
+	for i, n := 0, w.NumDomains(); i < n; i++ {
+		d := w.DomainAt(i)
 		if d.Toplist {
 			top.Domains = append(top.Domains, d.Name)
 		}

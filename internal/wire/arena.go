@@ -1,0 +1,108 @@
+package wire
+
+import "fmt"
+
+// FrameArena recycles parsed frame structs and the frame list across
+// packets. A receive loop that parses one packet at a time can hold one
+// arena per connection and parse every payload allocation-free at steady
+// state; ParseFrames (which allocates fresh frames) remains for callers
+// that retain parsed frames.
+//
+// The slice returned by Parse, the frames it holds, and any data they
+// reference are valid only until the next Parse call on the same arena.
+type FrameArena struct {
+	frames   []Frame
+	paddings []PaddingFrame
+	acks     []AckFrame
+	cryptos  []CryptoFrame
+	tokens   []NewTokenFrame
+	streams  []StreamFrame
+	closes   []ConnectionCloseFrame
+}
+
+// grow extends s by one reused (or zero) element and returns it. Growing
+// may move the backing array; previously returned pointers stay valid on
+// the old one, which is exactly what interface values handed out earlier
+// in the same packet need.
+func grow[T any](s []T) ([]T, *T) {
+	if len(s) < cap(s) {
+		s = s[: len(s)+1 : cap(s)]
+	} else {
+		var zero T
+		s = append(s, zero)
+	}
+	return s, &s[len(s)-1]
+}
+
+// Parse decodes all frames in a packet payload with the same semantics as
+// ParseFrames (runs of PADDING collapse into one frame; on error no frames
+// are returned). Unlike ParseFrames it reuses the arena's storage: the
+// result is invalidated by the next call.
+func (a *FrameArena) Parse(b []byte) ([]Frame, error) {
+	a.frames = a.frames[:0]
+	a.paddings = a.paddings[:0]
+	a.acks = a.acks[:0]
+	a.cryptos = a.cryptos[:0]
+	a.tokens = a.tokens[:0]
+	a.streams = a.streams[:0]
+	a.closes = a.closes[:0]
+	var pad *PaddingFrame // current PADDING run, nil outside one
+	for len(b) > 0 {
+		t := b[0]
+		if t == FrameTypePadding {
+			if pad == nil {
+				a.paddings, pad = grow(a.paddings)
+				pad.N = 0
+				a.frames = append(a.frames, pad)
+			}
+			pad.N++
+			b = b[1:]
+			continue
+		}
+		pad = nil
+		var (
+			f   Frame
+			n   int
+			err error
+		)
+		switch {
+		case t == FrameTypePing:
+			f, n = PingFrame{}, 1
+		case t == FrameTypeAck:
+			var fr *AckFrame
+			a.acks, fr = grow(a.acks)
+			n, err = parseAckInto(fr, b)
+			f = fr
+		case t == FrameTypeCrypto:
+			var fr *CryptoFrame
+			a.cryptos, fr = grow(a.cryptos)
+			n, err = parseCryptoInto(fr, b)
+			f = fr
+		case t == FrameTypeNewToken:
+			var fr *NewTokenFrame
+			a.tokens, fr = grow(a.tokens)
+			n, err = parseNewTokenInto(fr, b)
+			f = fr
+		case t >= FrameTypeStreamBase && t < FrameTypeStreamBase+8:
+			var fr *StreamFrame
+			a.streams, fr = grow(a.streams)
+			n, err = parseStreamInto(fr, b)
+			f = fr
+		case t == FrameTypeHandshakeDone:
+			f, n = HandshakeDoneFrame{}, 1
+		case t == FrameTypeConnectionClose:
+			var fr *ConnectionCloseFrame
+			a.closes, fr = grow(a.closes)
+			n, err = parseConnectionCloseInto(fr, b)
+			f = fr
+		default:
+			return nil, fmt.Errorf("%w: unknown frame type %#x", ErrInvalidFrame, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.frames = append(a.frames, f)
+		b = b[n:]
+	}
+	return a.frames, nil
+}

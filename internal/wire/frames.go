@@ -249,114 +249,150 @@ func parseFrame(b []byte) (Frame, int, error) {
 }
 
 func parseAckFrame(b []byte) (Frame, int, error) {
+	f := &AckFrame{}
+	n, err := parseAckInto(f, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+// parseAckInto decodes an ACK frame into f, reusing f.Ranges' backing array.
+func parseAckInto(f *AckFrame, b []byte) (int, error) {
 	pos := 1
 	largest, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	delay, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	rangeCount, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	firstRange, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	if firstRange > largest {
-		return nil, 0, fmt.Errorf("%w: ACK first range %d exceeds largest %d", ErrInvalidFrame, firstRange, largest)
+		return 0, fmt.Errorf("%w: ACK first range %d exceeds largest %d", ErrInvalidFrame, firstRange, largest)
 	}
 	// Every additional range costs at least two varint bytes on the wire,
 	// so validate the declared count against the remaining buffer before
 	// looping: a hostile 2^62-style count must fail here, not after
 	// appending ranges until the buffer runs dry.
 	if rangeCount > uint64(len(b)-pos)/2 {
-		return nil, 0, fmt.Errorf("%w: ACK range count %d exceeds remaining %d bytes", ErrInvalidFrame, rangeCount, len(b)-pos)
+		return 0, fmt.Errorf("%w: ACK range count %d exceeds remaining %d bytes", ErrInvalidFrame, rangeCount, len(b)-pos)
 	}
-	f := &AckFrame{
-		DelayMicros: delay << AckDelayExponent,
-		Ranges:      []AckRange{{Smallest: largest - firstRange, Largest: largest}},
-	}
+	f.DelayMicros = delay << AckDelayExponent
+	f.Ranges = append(f.Ranges[:0], AckRange{Smallest: largest - firstRange, Largest: largest})
 	smallest := f.Ranges[0].Smallest
 	for i := uint64(0); i < rangeCount; i++ {
 		gap, n2, err := ConsumeVarint(b[pos:])
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		pos += n2
 		length, n2, err := ConsumeVarint(b[pos:])
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		pos += n2
 		if smallest < gap+2 {
-			return nil, 0, fmt.Errorf("%w: ACK gap underflow", ErrInvalidFrame)
+			return 0, fmt.Errorf("%w: ACK gap underflow", ErrInvalidFrame)
 		}
 		largest := smallest - gap - 2
 		if length > largest {
-			return nil, 0, fmt.Errorf("%w: ACK range underflow", ErrInvalidFrame)
+			return 0, fmt.Errorf("%w: ACK range underflow", ErrInvalidFrame)
 		}
 		smallest = largest - length
 		f.Ranges = append(f.Ranges, AckRange{Smallest: smallest, Largest: largest})
 	}
-	return f, pos, nil
+	return pos, nil
 }
 
 func parseCryptoFrame(b []byte) (Frame, int, error) {
+	f := &CryptoFrame{}
+	n, err := parseCryptoInto(f, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+func parseCryptoInto(f *CryptoFrame, b []byte) (int, error) {
 	pos := 1
 	off, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	length, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	if uint64(len(b)-pos) < length {
-		return nil, 0, fmt.Errorf("%w: CRYPTO data", ErrTruncated)
+		return 0, fmt.Errorf("%w: CRYPTO data", ErrTruncated)
 	}
-	f := &CryptoFrame{Offset: off, Data: b[pos : pos+int(length)]}
-	return f, pos + int(length), nil
+	f.Offset, f.Data = off, b[pos:pos+int(length)]
+	return pos + int(length), nil
 }
 
 func parseNewTokenFrame(b []byte) (Frame, int, error) {
-	pos := 1
-	length, n, err := ConsumeVarint(b[pos:])
+	f := &NewTokenFrame{}
+	n, err := parseNewTokenInto(f, b)
 	if err != nil {
 		return nil, 0, err
 	}
+	return f, n, nil
+}
+
+func parseNewTokenInto(f *NewTokenFrame, b []byte) (int, error) {
+	pos := 1
+	length, n, err := ConsumeVarint(b[pos:])
+	if err != nil {
+		return 0, err
+	}
 	pos += n
 	if length == 0 {
-		return nil, 0, fmt.Errorf("%w: empty NEW_TOKEN", ErrInvalidFrame)
+		return 0, fmt.Errorf("%w: empty NEW_TOKEN", ErrInvalidFrame)
 	}
 	if uint64(len(b)-pos) < length {
-		return nil, 0, fmt.Errorf("%w: NEW_TOKEN data", ErrTruncated)
+		return 0, fmt.Errorf("%w: NEW_TOKEN data", ErrTruncated)
 	}
-	return &NewTokenFrame{Token: b[pos : pos+int(length)]}, pos + int(length), nil
+	f.Token = b[pos : pos+int(length)]
+	return pos + int(length), nil
 }
 
 func parseStreamFrame(b []byte) (Frame, int, error) {
+	f := &StreamFrame{}
+	n, err := parseStreamInto(f, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+func parseStreamInto(f *StreamFrame, b []byte) (int, error) {
 	t := b[0]
 	pos := 1
 	id, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
-	f := &StreamFrame{StreamID: id, Fin: t&streamFlagFIN != 0}
+	f.StreamID, f.Offset, f.Fin = id, 0, t&streamFlagFIN != 0
 	if t&streamFlagOFF != 0 {
 		off, n, err := ConsumeVarint(b[pos:])
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		pos += n
 		f.Offset = off
@@ -364,11 +400,11 @@ func parseStreamFrame(b []byte) (Frame, int, error) {
 	if t&streamFlagLEN != 0 {
 		length, n, err := ConsumeVarint(b[pos:])
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		pos += n
 		if uint64(len(b)-pos) < length {
-			return nil, 0, fmt.Errorf("%w: STREAM data", ErrTruncated)
+			return 0, fmt.Errorf("%w: STREAM data", ErrTruncated)
 		}
 		f.Data = b[pos : pos+int(length)]
 		pos += int(length)
@@ -376,29 +412,38 @@ func parseStreamFrame(b []byte) (Frame, int, error) {
 		f.Data = b[pos:]
 		pos = len(b)
 	}
-	return f, pos, nil
+	return pos, nil
 }
 
 func parseConnectionCloseFrame(b []byte) (Frame, int, error) {
+	f := &ConnectionCloseFrame{}
+	n, err := parseConnectionCloseInto(f, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+func parseConnectionCloseInto(f *ConnectionCloseFrame, b []byte) (int, error) {
 	pos := 1
 	code, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	ft, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	rl, n, err := ConsumeVarint(b[pos:])
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	pos += n
 	if uint64(len(b)-pos) < rl {
-		return nil, 0, fmt.Errorf("%w: CONNECTION_CLOSE reason", ErrTruncated)
+		return 0, fmt.Errorf("%w: CONNECTION_CLOSE reason", ErrTruncated)
 	}
-	f := &ConnectionCloseFrame{ErrorCode: code, FrameType: ft, Reason: string(b[pos : pos+int(rl)])}
-	return f, pos + int(rl), nil
+	f.ErrorCode, f.FrameType, f.Reason = code, ft, string(b[pos:pos+int(rl)])
+	return pos + int(rl), nil
 }

@@ -237,86 +237,98 @@ func IsLongHeader(first byte) bool { return first&HeaderFormBit != 0 }
 // consumed from data (long-header packets may be coalesced, so consumed can
 // be < len(data)).
 func ParseHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, []byte, int, error) {
+	h := &Header{}
+	payload, consumed, err := ParseHeaderInto(h, data, dcidLen, largestRecvd)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return h, payload, consumed, nil
+}
+
+// ParseHeaderInto is ParseHeader decoding into a caller-owned Header, so hot
+// receive loops can reuse one struct per connection instead of allocating a
+// header per packet. h is fully overwritten; on error its contents are
+// unspecified.
+func ParseHeaderInto(h *Header, data []byte, dcidLen int, largestRecvd uint64) ([]byte, int, error) {
 	if len(data) == 0 {
-		return nil, nil, 0, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	first := data[0]
 	if first&FixedBit == 0 {
-		return nil, nil, 0, fmt.Errorf("%w: fixed bit not set", ErrInvalidHeader)
+		return nil, 0, fmt.Errorf("%w: fixed bit not set", ErrInvalidHeader)
 	}
+	*h = Header{}
 	if IsLongHeader(first) {
-		return parseLongHeader(data)
+		return parseLongHeader(h, data)
 	}
-	return parseShortHeader(data, dcidLen, largestRecvd)
+	return parseShortHeader(h, data, dcidLen, largestRecvd)
 }
 
-func parseLongHeader(data []byte) (*Header, []byte, int, error) {
-	h := &Header{IsLong: true, Type: (data[0] >> 4) & 0x3}
+func parseLongHeader(h *Header, data []byte) ([]byte, int, error) {
+	h.IsLong, h.Type = true, (data[0]>>4)&0x3
 	pnl := int(data[0]&0x3) + 1
 	pos := 1
 	if len(data) < pos+4 {
-		return nil, nil, 0, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	h.Version = uint32(data[pos])<<24 | uint32(data[pos+1])<<16 | uint32(data[pos+2])<<8 | uint32(data[pos+3])
 	pos += 4
 	if h.Version != Version1 {
-		return nil, nil, 0, fmt.Errorf("%w: unsupported version %#x", ErrInvalidHeader, h.Version)
+		return nil, 0, fmt.Errorf("%w: unsupported version %#x", ErrInvalidHeader, h.Version)
 	}
 	var err error
 	h.DstConnID, pos, err = consumeConnID(data, pos)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
 	h.SrcConnID, pos, err = consumeConnID(data, pos)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
 	if h.Type == TypeInitial {
 		tl, n, err := ConsumeVarint(data[pos:])
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, 0, err
 		}
 		pos += n
 		if uint64(len(data)-pos) < tl {
-			return nil, nil, 0, fmt.Errorf("%w: token", ErrTruncated)
+			return nil, 0, fmt.Errorf("%w: token", ErrTruncated)
 		}
 		h.Token = data[pos : pos+int(tl)]
 		pos += int(tl)
 	}
 	length, n, err := ConsumeVarint(data[pos:])
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
 	pos += n
 	h.Length = length
 	if length < uint64(pnl) || uint64(len(data)-pos) < length {
-		return nil, nil, 0, fmt.Errorf("%w: length field %d", ErrTruncated, length)
+		return nil, 0, fmt.Errorf("%w: length field %d", ErrTruncated, length)
 	}
 	h.PacketNumberLen = pnl
 	h.PacketNumber = consumeTruncatedPN(data[pos:], pnl)
 	pos += pnl
 	payload := data[pos : pos+int(length)-pnl]
 	consumed := pos + int(length) - pnl
-	return h, payload, consumed, nil
+	return payload, consumed, nil
 }
 
-func parseShortHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, []byte, int, error) {
+func parseShortHeader(h *Header, data []byte, dcidLen int, largestRecvd uint64) ([]byte, int, error) {
 	// dcidLen is caller-supplied (short headers are not self-describing);
 	// bound it like the wire-encoded lengths of long headers so malformed
 	// inputs error instead of panicking in NewConnectionID or slicing.
 	if dcidLen < 0 || dcidLen > MaxConnIDLen {
-		return nil, nil, 0, fmt.Errorf("%w: connection ID length %d", ErrInvalidHeader, dcidLen)
+		return nil, 0, fmt.Errorf("%w: connection ID length %d", ErrInvalidHeader, dcidLen)
 	}
 	first := data[0]
-	h := &Header{
-		SpinBit:  first&SpinBitMask != 0,
-		KeyPhase: first&KeyPhaseBit != 0,
-		Reserved: (first >> 3) & 0x3,
-	}
+	h.SpinBit = first&SpinBitMask != 0
+	h.KeyPhase = first&KeyPhaseBit != 0
+	h.Reserved = (first >> 3) & 0x3
 	pnl := int(first&0x3) + 1
 	pos := 1
 	if len(data) < pos+dcidLen+pnl {
-		return nil, nil, 0, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	h.DstConnID = NewConnectionID(data[pos : pos+dcidLen])
 	pos += dcidLen
@@ -325,7 +337,7 @@ func parseShortHeader(data []byte, dcidLen int, largestRecvd uint64) (*Header, [
 	h.PacketNumber = DecodePacketNumber(largestRecvd, truncated, pnl)
 	pos += pnl
 	// A short-header packet extends to the end of the datagram.
-	return h, data[pos:], len(data), nil
+	return data[pos:], len(data), nil
 }
 
 func consumeConnID(data []byte, pos int) (ConnectionID, int, error) {

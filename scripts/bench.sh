@@ -1,0 +1,134 @@
+#!/bin/sh
+# Benchmark & allocation regression gate for the scan pipeline.
+#
+#   ./scripts/bench.sh            compare a fresh run against BENCH_PR5.json
+#                                 and fail on >10 % regressions
+#   ./scripts/bench.sh update     refresh the "after" numbers in BENCH_PR5.json
+#                                 (preserving the recorded "before" baseline)
+#   ./scripts/bench.sh capture    print a fresh results object to stdout
+#                                 (used to record baselines from a worktree)
+#   ./scripts/bench.sh smoke      tiny-population run that only checks the
+#                                 benchmarks still execute (used by check.sh)
+#
+# The gate runs BenchmarkCampaign (one full weekly scan per engine, workers
+# 4) at QUICSPIN_SCALE 2000 (~110k domains) and 20000 (~11k domains) with
+# -benchmem -count 3, and records ns/op, B/op, allocs/op and domains/sec
+# per engine as the best of the three runs (min ns/op, max domains/sec —
+# wall-clock noise is one-sided slow; max B/op and allocs/op — memory is
+# near-deterministic, so take the conservative side). Comparisons flag
+# >10 % growth in B/op or allocs/op and >10 % loss in domains/sec; ns/op
+# is recorded but not gated (wall time stays too noisy on shared machines
+# to hard-fail on even after best-of-3).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+json=BENCH_PR5.json
+mode=${1:-check}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_scale() { # $1 = scale
+    echo "== BenchmarkCampaign at QUICSPIN_SCALE=$1" >&2
+    QUICSPIN_SCALE=$1 go test -run '^$' -bench '^BenchmarkCampaign$' \
+        -benchmem -benchtime 1x -count 3 . >"$tmp/raw-$1.txt" 2>&1 || {
+        cat "$tmp/raw-$1.txt" >&2
+        exit 1
+    }
+    grep -E '^BenchmarkCampaign/' "$tmp/raw-$1.txt" >&2 || true
+}
+
+# parse_scale <scale>: benchmark text -> {"fast": {...}, "emulated": {...}}
+# Aggregates across -count repeats: best (min) ns/op and best (max)
+# domains/sec, worst (max) B/op and allocs/op.
+parse_scale() {
+    awk '
+    function keep(key, v, takeMax) {
+        if (!(key in m)) { m[key] = v; return }
+        if (takeMax) { if (v + 0 > m[key] + 0) m[key] = v }
+        else { if (v + 0 < m[key] + 0) m[key] = v }
+    }
+    /^BenchmarkCampaign\// {
+        split($1, parts, "/")
+        eng = parts[2]
+        sub(/-[0-9]+$/, "", eng)
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op")       keep(eng ",ns_per_op", $i, 0)
+            if ($(i + 1) == "B/op")        keep(eng ",b_per_op", $i, 1)
+            if ($(i + 1) == "allocs/op")   keep(eng ",allocs_per_op", $i, 1)
+            if ($(i + 1) == "domains/sec") keep(eng ",domains_per_sec", $i, 1)
+        }
+    }
+    END {
+        printf "{"
+        n = 0
+        engs[1] = "fast"; engs[2] = "emulated"
+        for (e = 1; e <= 2; e++) {
+            eng = engs[e]
+            if (m[eng ",ns_per_op"] == "") continue
+            if (n++) printf ","
+            printf "\"%s\":{\"ns_per_op\":%s,\"b_per_op\":%s,\"allocs_per_op\":%s,\"domains_per_sec\":%s}", \
+                eng, m[eng ",ns_per_op"], m[eng ",b_per_op"], m[eng ",allocs_per_op"], m[eng ",domains_per_sec"]
+        }
+        printf "}"
+    }' "$tmp/raw-$1.txt"
+}
+
+if [ "$mode" = smoke ]; then
+    # A tiny population proves the harness still runs end to end; no
+    # comparison — regressions are gated by the full run.
+    run_scale 100000
+    echo "bench smoke OK"
+    exit 0
+fi
+
+run_scale 2000
+run_scale 20000
+printf '{"scale_2000":%s,"scale_20000":%s}\n' \
+    "$(parse_scale 2000)" "$(parse_scale 20000)" | jq . >"$tmp/fresh.json"
+
+case "$mode" in
+capture)
+    cat "$tmp/fresh.json"
+    ;;
+update)
+    if [ -f "$json" ]; then
+        jq --slurpfile fresh "$tmp/fresh.json" '.after = $fresh[0]' "$json" >"$tmp/out.json"
+    else
+        jq --slurpfile fresh "$tmp/fresh.json" -n \
+            '{note: "BenchmarkCampaign: one full weekly scan per engine, workers=4, -benchtime=1x. before = pre-PR baseline, after = streaming pipeline + hot-path memory overhaul. Gate: scripts/bench.sh fails on >10% B/op, allocs/op, or domains/sec regression vs after.", before: $fresh[0], after: $fresh[0]}'
+        exit 0
+    fi
+    mv "$tmp/out.json" "$json"
+    echo "updated $json (after)"
+    ;;
+check)
+    if [ ! -f "$json" ]; then
+        echo "no $json baseline; run ./scripts/bench.sh update first" >&2
+        exit 1
+    fi
+    failures=$(jq -r --slurpfile fresh "$tmp/fresh.json" '
+        [ ("scale_2000", "scale_20000") as $s
+          | ("fast", "emulated") as $e
+          | .after[$s][$e] as $b
+          | $fresh[0][$s][$e] as $f
+          | ( if $f.b_per_op > $b.b_per_op * 1.10
+              then "\($s)/\($e): B/op \($f.b_per_op) vs baseline \($b.b_per_op) (+>10%)" else empty end ),
+            ( if $f.allocs_per_op > $b.allocs_per_op * 1.10
+              then "\($s)/\($e): allocs/op \($f.allocs_per_op) vs baseline \($b.allocs_per_op) (+>10%)" else empty end ),
+            ( if $f.domains_per_sec < $b.domains_per_sec * 0.90
+              then "\($s)/\($e): domains/sec \($f.domains_per_sec) vs baseline \($b.domains_per_sec) (->10%)" else empty end )
+        ] | .[]' "$json")
+    if [ -n "$failures" ]; then
+        echo "benchmark regression vs $json:" >&2
+        echo "$failures" >&2
+        exit 1
+    fi
+    echo "bench OK (no >10% regression vs $json)"
+    ;;
+*)
+    echo "usage: $0 [check|update|capture|smoke]" >&2
+    exit 2
+    ;;
+esac

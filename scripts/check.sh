@@ -27,6 +27,34 @@ go build ./...
 echo "== go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+# Coverage floors on the packages the streaming pipeline flows through.
+# These are regression floors, not targets: raise them when coverage grows,
+# never lower them to make a PR pass.
+echo "== coverage floors"
+cov_floor() {
+    pkg=$1
+    floor=$2
+    pct=$(go test -cover "$pkg" 2>/dev/null | awk '
+        { for (i = 1; i < NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i+1)); print $(i+1) } }')
+    if [ -z "$pct" ]; then
+        echo "no coverage output for $pkg" >&2
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p < f) }')" = 1 ]; then
+        echo "$pkg coverage $pct% below floor $floor%" >&2
+        exit 1
+    fi
+    echo "$pkg: $pct% (floor $floor%)"
+}
+cov_floor ./internal/scanner 75
+cov_floor ./internal/websim 75
+cov_floor ./internal/analysis 75
+
+# Benchmark smoke: prove the BenchmarkCampaign harness (the input to
+# scripts/bench.sh and BENCH_PR5.json) still runs; the full regression gate
+# is ./scripts/bench.sh.
+./scripts/bench.sh smoke
+
 # Native Go fuzzing needs no build tags, so `go vet ./...` above already
 # covers the fuzz harnesses; here each target gets a short guided run
 # beyond its seed corpus (which plain `go test` replays as unit tests).
