@@ -30,6 +30,7 @@ import (
 	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
+	"quicspin/internal/trace"
 	"quicspin/internal/websim"
 )
 
@@ -57,6 +58,10 @@ func main() {
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal and scan only the remainder")
 	stream := flag.Bool("stream", true, "stream results through incremental aggregation (false = legacy batch pipeline)")
 	lazyWorld := flag.Bool("lazy-world", false, "synthesise domains and servers on demand instead of materialising the population")
+	traceOn := flag.Bool("trace", false, "record per-domain stage traces into the flight recorder (serves /debug/traces with -debug-addr)")
+	traceDir := flag.String("trace-dir", "", "write flight-recorder dumps (panic/stall/budget postmortems) to this directory; implies -trace")
+	flightDepth := flag.Int("flight-recorder", 0, "per-worker flight-recorder ring depth (0 = 64 default)")
+	alertSpec := flag.String("alerts", "", `threshold alerts evaluated each progress tick, e.g. "error-rate<=0.05,domains-per-sec>=100,spin-share>=0.01"`)
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -79,6 +84,18 @@ func main() {
 
 	reg := telemetry.New()
 
+	// -trace-dir implies tracing; the tracer is nil when disabled, and a
+	// nil tracer hands the scan path nil no-op recorders.
+	var tracer *trace.Tracer
+	if *traceOn || *traceDir != "" {
+		tracer = trace.New(trace.Config{RingSize: *flightDepth, Dir: *traceDir, Logf: log.Printf})
+	}
+
+	alerts, err := parseAlerts(*alertSpec, reg, log.Printf)
+	if err != nil {
+		log.Fatalf("-alerts: %v", err)
+	}
+
 	first, last := *week, *week
 	if *weeks > 0 {
 		first, last = 1, *weeks
@@ -88,7 +105,7 @@ func main() {
 	// friendlier.
 	baseCfg := scanner.Config{
 		Week: first, IPv6: *ipv6, Engine: eng, Workers: *workers,
-		Timeout: *timeout, MaxRedirects: *maxRedirects, Telemetry: reg,
+		Timeout: *timeout, MaxRedirects: *maxRedirects, Telemetry: reg, Trace: tracer,
 		Retry:      resilience.RetryPolicy{MaxRetries: *retries},
 		Breaker:    resilience.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Checkpoint: *checkpoint,
@@ -112,13 +129,21 @@ func main() {
 	}()
 	baseCfg.Interrupt = interrupt
 
+	// The live dashboard rides on the streaming sink; it stays nil (a
+	// valid no-op sink wrapper) without a debug endpoint to serve it.
+	var live *analysis.Live
 	if *debugAddr != "" {
-		dbg, err := telemetry.StartDebugServer(*debugAddr, reg)
+		live = analysis.NewLive(0, 0)
+		dbg, err := telemetry.StartDebugServer(*debugAddr, reg,
+			telemetry.Endpoint{Path: "/debug/campaign", Handler: live.Handler()},
+			telemetry.Endpoint{Path: "/debug/traces", Handler: trace.Handler(tracer)},
+			telemetry.Endpoint{Path: "/debug/alerts", Handler: alerts.Handler()},
+		)
 		if err != nil {
 			log.Fatalf("debug-addr: %v", err)
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoint on http://%s (/metrics, /snapshot, /debug/pprof/)", dbg.Addr())
+		log.Printf("debug endpoint on http://%s (/metrics, /snapshot, /debug/campaign, /debug/traces, /debug/alerts, /debug/pprof/)", dbg.Addr())
 	}
 
 	prof := websim.DefaultProfile()
@@ -159,7 +184,7 @@ func main() {
 	}
 	reg.Gauge("spinscan_workers_total").Set(int64(nw))
 
-	stopProgress := startProgress(reg, *progressEvery, log.Printf)
+	stopProgress := startProgress(reg, *progressEvery, log.Printf, alerts)
 	// With -stream (and no qlog output, which needs materialised results)
 	// each domain flows straight into the incremental aggregators and is
 	// dropped — memory stays bounded by the aggregate state, not the
@@ -179,7 +204,7 @@ func main() {
 		var err error
 		if streamSummary {
 			acc := camp.StartWeek(wk, cfg.IPv6, world.ASDB())
-			err = scanner.RunStream(world, cfg, acc.Sink())
+			err = scanner.RunStream(world, cfg, live.Sink(acc))
 		} else {
 			run := scanner.Run
 			if !*stream {

@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"quicspin/internal/analysis"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
+	"quicspin/internal/trace"
 	"quicspin/internal/websim"
 )
 
@@ -114,12 +116,119 @@ func TestStartProgressEmitsAndStops(t *testing.T) {
 	var lines []string
 	stop := startProgress(reg, 10*time.Millisecond, func(format string, args ...any) {
 		lines = append(lines, fmt.Sprintf(format, args...))
-	})
+	}, nil)
 	time.Sleep(35 * time.Millisecond)
 	stop()
 	if len(lines) == 0 {
 		t.Fatal("no progress lines emitted")
 	}
 	// Disabled reporter: stop must be a safe no-op.
-	startProgress(reg, 0, func(string, ...any) { t.Error("disabled reporter emitted") })()
+	startProgress(reg, 0, func(string, ...any) { t.Error("disabled reporter emitted") }, nil)()
+}
+
+// TestParseAlerts covers the -alerts spec grammar.
+func TestParseAlerts(t *testing.T) {
+	reg := telemetry.New()
+	if eng, err := parseAlerts("", reg, nil); eng != nil || err != nil {
+		t.Fatalf("empty spec: eng=%v err=%v", eng, err)
+	}
+	eng, err := parseAlerts(" error-rate<=0.05, domains-per-sec>=100 ,spin-share>=0.01", reg, nil)
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if firing := eng.Evaluate(); len(firing) != 1 || firing[0] != "domains-per-sec" {
+		// Warm-up: no conns yet (error-rate 0, spin-share reported healthy),
+		// but the throughput gauge is still zero, under the floor.
+		t.Errorf("warm-up firing = %v, want [domains-per-sec]", firing)
+	}
+	reg.Gauge("scan_domains_per_sec").Set(500)
+	reg.Counter("spinscan_conns_attempted_total").Add(100)
+	reg.Counter("spinscan_conns_succeeded_total").Add(90)
+	reg.Counter("spinscan_spin_flip_conns_total").Add(40)
+	reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", "timeout")).Add(10)
+	if firing := eng.Evaluate(); len(firing) != 1 || firing[0] != "error-rate" {
+		t.Errorf("firing = %v, want [error-rate]", firing)
+	}
+	for _, bad := range []string{"error-rate", "error-rate<=x", "nope<=1", "<=5"} {
+		if _, err := parseAlerts(bad, reg, nil); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestDashboardEndpointsServe wires the full -debug-addr surface the way
+// main does — campaign dashboard, trace viewer, alert engine — runs a
+// traced streaming scan through the live sink, and scrapes every
+// endpoint.
+func TestDashboardEndpointsServe(t *testing.T) {
+	reg := telemetry.New()
+	tracer := trace.New(trace.Config{})
+	alerts, err := parseAlerts("domains-per-sec>=1", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := analysis.NewLive(50, 4)
+	dbg, err := telemetry.StartDebugServer("127.0.0.1:0", reg,
+		telemetry.Endpoint{Path: "/debug/campaign", Handler: live.Handler()},
+		telemetry.Endpoint{Path: "/debug/traces", Handler: trace.Handler(tracer)},
+		telemetry.Endpoint{Path: "/debug/alerts", Handler: alerts.Handler()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	prof := websim.DefaultProfile()
+	prof.Scale = 100_000
+	world := websim.Generate(prof)
+	acc := analysis.NewAccumulator(1, false, world.ASDB())
+	cfg := scanner.Config{
+		Week: 1, Engine: scanner.EngineFast, Seed: 7, Workers: 2,
+		Telemetry: reg, Trace: tracer,
+	}
+	if err := scanner.RunStream(world, cfg, live.Sink(acc)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	campaign := get("/debug/campaign")
+	for _, want := range []string{"Campaign dashboard", "Rolling windows", "Table 1.", "Table 5."} {
+		if !strings.Contains(campaign, want) {
+			t.Errorf("/debug/campaign missing %q", want)
+		}
+	}
+	var snap analysis.LiveSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/campaign?format=json")), &snap); err != nil {
+		t.Fatalf("/debug/campaign?format=json: %v", err)
+	}
+	if snap.Totals.Domains != len(world.Domains) || len(snap.Windows) == 0 {
+		t.Errorf("dashboard totals %+v over %d windows, scanned %d domains",
+			snap.Totals, len(snap.Windows), len(world.Domains))
+	}
+
+	traces := get("/debug/traces")
+	if !strings.Contains(traces, `"domain"`) {
+		t.Errorf("/debug/traces has no traces: %.300s", traces)
+	}
+
+	alertsDoc := get("/debug/alerts")
+	if !strings.Contains(alertsDoc, "domains-per-sec") {
+		t.Errorf("/debug/alerts missing rule: %s", alertsDoc)
+	}
 }

@@ -15,14 +15,26 @@ import (
 //
 //	week=3 shard=7/8 domains=1.2M/2.0M conns/s=41k errs{timeout:312,reset:51}
 //
-// The returned stop function prints one final line and stops the ticker.
-// A zero interval disables reporting (stop is then a no-op).
-func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(string, ...any)) (stop func()) {
+// Each tick also evaluates the alert engine (nil disables alerting; the
+// engine logs its own transition lines) and appends any firing alerts to
+// the progress line. The returned stop function prints one final line and
+// stops the ticker. A zero interval disables reporting (stop is then a
+// no-op).
+func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(string, ...any), alerts *telemetry.AlertEngine) (stop func()) {
 	if interval <= 0 {
 		return func() {}
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	report := func(prev telemetry.Snapshot, dt time.Duration) telemetry.Snapshot {
+		cur := reg.Snapshot()
+		line := progressLine(cur, prev, dt)
+		if firing := alerts.Evaluate(); len(firing) > 0 {
+			line += " ALERTS[" + strings.Join(firing, ",") + "]"
+		}
+		printf("%s", line)
+		return cur
+	}
 	go func() {
 		defer close(finished)
 		tick := time.NewTicker(interval)
@@ -32,14 +44,12 @@ func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(
 		for {
 			select {
 			case <-done:
-				now := time.Now()
-				printf("%s", progressLine(reg.Snapshot(), prev, now.Sub(prevT)))
+				report(prev, time.Since(prevT))
 				return
 			case <-tick.C:
-				cur := reg.Snapshot()
 				now := time.Now()
-				printf("%s", progressLine(cur, prev, now.Sub(prevT)))
-				prev, prevT = cur, now
+				prev = report(prev, now.Sub(prevT))
+				prevT = now
 			}
 		}
 	}()

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"quicspin/internal/report"
+	"quicspin/internal/scanner"
+	"quicspin/internal/stats"
+)
+
+// WindowStats is one rolling-window slice of campaign progress: counts
+// over a fixed number of consecutively delivered domains. Windows are
+// count-based rather than time-based so the dashboard is deterministic
+// under virtual time and independent of wall-clock scheduling.
+type WindowStats struct {
+	// Index numbers windows from 0 in delivery order (campaign-global,
+	// continuing across weeks).
+	Index int `json:"index"`
+	// Week is the measurement week the window started in.
+	Week int `json:"week"`
+	// Domains counts delivered domains; Resolved those with DNS answers.
+	Domains  int `json:"domains"`
+	Resolved int `json:"resolved"`
+	// QUIC counts domains with at least one successful QUIC connection;
+	// Spin those whose domain class is Spin.
+	QUIC int `json:"quic"`
+	Spin int `json:"spin"`
+	// Conns counts connection attempts; ConnErrs the failed ones.
+	Conns    int `json:"conns"`
+	ConnErrs int `json:"conn_errs"`
+}
+
+func (w *WindowStats) fold(d *scanner.DomainResult, cls Class) {
+	w.Domains++
+	if d.Resolved {
+		w.Resolved++
+	}
+	if d.QUIC() {
+		w.QUIC++
+	}
+	if cls == ClassSpin {
+		w.Spin++
+	}
+	w.Conns += len(d.Conns)
+	for i := range d.Conns {
+		if d.Conns[i].Err != "" {
+			w.ConnErrs++
+		}
+	}
+}
+
+// Live is the campaign's live dashboard state: it rides on the streaming
+// accumulators (wrapping their sink) and additionally maintains
+// count-based rolling windows, so /debug/campaign can show both the
+// cumulative Tables 1–5 and the recent-trend view mid-scan. All methods
+// are safe for concurrent use; a nil *Live is a valid no-op, so the scan
+// path needs no dashboard branches.
+type Live struct {
+	mu      sync.Mutex
+	size    int // domains per window
+	keep    int // closed windows retained
+	acc     *Accumulator
+	totals  WindowStats
+	cur     WindowStats
+	windows []WindowStats // closed, oldest first, ≤ keep
+}
+
+// NewLive creates dashboard state with the given window size (domains per
+// window) and retention (closed windows kept); non-positive values take
+// the defaults of 1000 and 24.
+func NewLive(windowSize, keep int) *Live {
+	if windowSize <= 0 {
+		windowSize = 1000
+	}
+	if keep <= 0 {
+		keep = 24
+	}
+	return &Live{size: windowSize, keep: keep}
+}
+
+// Sink wraps a week accumulator's delivery callback: each domain folds
+// into acc (cumulative tables) and into the rolling window. Call once per
+// week with that week's accumulator — the dashboard then renders tables
+// from the latest week while windows continue across weeks. Nil-safe: a
+// nil Live returns acc's own sink.
+func (l *Live) Sink(acc *Accumulator) func(i int, d *scanner.DomainResult) error {
+	if l == nil {
+		return acc.Sink()
+	}
+	l.mu.Lock()
+	l.acc = acc
+	l.cur.Week = acc.Week
+	l.mu.Unlock()
+	return func(_ int, d *scanner.DomainResult) error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		cls := acc.Add(d)
+		l.cur.fold(d, cls)
+		l.totals.fold(d, cls)
+		if l.cur.Domains >= l.size {
+			l.roll()
+		}
+		return nil
+	}
+}
+
+// roll closes the current window. Caller holds l.mu.
+func (l *Live) roll() {
+	l.windows = append(l.windows, l.cur)
+	if len(l.windows) > l.keep {
+		copy(l.windows, l.windows[len(l.windows)-l.keep:])
+		l.windows = l.windows[:l.keep]
+	}
+	l.cur = WindowStats{Index: l.cur.Index + 1, Week: l.cur.Week}
+}
+
+// LiveSnapshot is the /debug/campaign JSON document.
+type LiveSnapshot struct {
+	Week       int         `json:"week"`
+	WindowSize int         `json:"window_size"`
+	Totals     WindowStats `json:"totals"`
+	// Windows holds the retained closed windows followed by the current
+	// open one (so the document is non-empty from the first domain).
+	Windows []WindowStats `json:"windows"`
+	// Tables are the rendered cumulative Tables 1–5 for the current week.
+	Tables []string `json:"tables"`
+}
+
+// Snapshot captures the dashboard state, rendering Tables 1–5 from the
+// current week's accumulator. Nil-safe (returns a zero snapshot).
+func (l *Live) Snapshot() LiveSnapshot {
+	if l == nil {
+		return LiveSnapshot{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snap := LiveSnapshot{WindowSize: l.size, Totals: l.totals}
+	snap.Windows = append(snap.Windows, l.windows...)
+	snap.Windows = append(snap.Windows, l.cur)
+	if l.acc != nil {
+		snap.Week = l.acc.Week
+		for _, t := range []*report.Table{
+			l.acc.RenderOverview(), l.acc.RenderOrgTable(8),
+			l.acc.RenderSpinConfig(), l.acc.RenderSoftwareTable(),
+			l.acc.RenderErrorClasses(),
+		} {
+			snap.Tables = append(snap.Tables, t.String())
+		}
+	}
+	return snap
+}
+
+// Totals returns the campaign-wide counts folded so far. Nil-safe.
+func (l *Live) Totals() WindowStats {
+	if l == nil {
+		return WindowStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals
+}
+
+// renderText renders the dashboard as plain text: totals line, the
+// rolling-window table, then the cumulative tables.
+func renderText(s *LiveSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign dashboard — week %d\n", s.Week)
+	fmt.Fprintf(&b, "Totals: domains=%s resolved=%s quic=%s spin=%s conns=%s conn_errs=%s\n\n",
+		report.Count(s.Totals.Domains), report.Count(s.Totals.Resolved),
+		report.Count(s.Totals.QUIC), report.Count(s.Totals.Spin),
+		report.Count(s.Totals.Conns), report.Count(s.Totals.ConnErrs))
+	wt := report.NewTable(
+		fmt.Sprintf("Rolling windows (%d domains each; last row is the open window)", s.WindowSize),
+		"Window", "Week", "Domains", "Resolved", "QUIC", "Spin", "Spin%", "Conns", "Errs", "Err%")
+	for i := range s.Windows {
+		w := &s.Windows[i]
+		wt.AddRow(strconv.Itoa(w.Index), strconv.Itoa(w.Week),
+			report.Count(w.Domains), report.Count(w.Resolved),
+			report.Count(w.QUIC), report.Count(w.Spin), stats.Percent(w.Spin, w.QUIC),
+			report.Count(w.Conns), report.Count(w.ConnErrs), stats.Percent(w.ConnErrs, w.Conns))
+	}
+	b.WriteString(wt.String())
+	for _, t := range s.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// Handler serves the dashboard on /debug/campaign: plain text by default,
+// the LiveSnapshot document with ?format=json. A nil Live serves an
+// empty-but-valid document, so wiring the endpoint is unconditional.
+func (l *Live) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := l.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(&snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprint(w, renderText(&snap))
+	})
+}

@@ -54,10 +54,12 @@ func NewAccumulator(week int, ipv6 bool, res *asdb.Resolver) *Accumulator {
 	return a
 }
 
-// Add folds one finished domain into every aggregate. The DomainResult is
-// only read during the call; the per-connection analyses live in a scratch
-// slice reused across calls.
-func (a *Accumulator) Add(d *scanner.DomainResult) {
+// Add folds one finished domain into every aggregate and returns the
+// domain's spin class (the live dashboard's window counters reuse it
+// without re-analysing the connections). The DomainResult is only read
+// during the call; the per-connection analyses live in a scratch slice
+// reused across calls.
+func (a *Accumulator) Add(d *scanner.DomainResult) Class {
 	conns := a.scratch[:0]
 	for j := range d.Conns {
 		conns = append(conns, AnalyzeConn(&d.Conns[j]))
@@ -75,6 +77,7 @@ func (a *Accumulator) Add(d *scanner.DomainResult) {
 	if a.long != nil {
 		a.long.add(&da)
 	}
+	return da.Class
 }
 
 // Sink adapts the accumulator to scanner.RunStream's delivery callback.

@@ -370,6 +370,19 @@ func (d *delivery) run(now time.Time) {
 	h(now, from, data)
 }
 
+// Delta returns the counter increments from prev to s — per-connection
+// attribution of the cumulative network counters (the scanner's trace
+// layer snapshots Stats around each exchange).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Sent:       s.Sent - prev.Sent,
+		Delivered:  s.Delivered - prev.Delivered,
+		Dropped:    s.Dropped - prev.Dropped,
+		Reordered:  s.Reordered - prev.Reordered,
+		Duplicated: s.Duplicated - prev.Duplicated,
+	}
+}
+
 // String summarises network statistics.
 func (s Stats) String() string {
 	return fmt.Sprintf("netem{sent=%d delivered=%d dropped=%d reordered=%d dup=%d}",

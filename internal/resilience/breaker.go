@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -241,6 +242,25 @@ func (b *Breaker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stats
+}
+
+// OpenGroups returns the keys of every group currently open or half-open,
+// sorted; the campaign dashboard lists them so an operator can see which
+// prefixes the scan is backing off from.
+func (b *Breaker) OpenGroups() []string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var keys []string
+	for key, g := range b.groups {
+		if g.state != StateClosed {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // GroupState returns the current state of a group (closed for unknown

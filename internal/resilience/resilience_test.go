@@ -329,3 +329,25 @@ func TestJournalReplayMissingDir(t *testing.T) {
 		t.Fatalf("missing dir replay = (%d keys, %d torn), want empty", len(got), torn)
 	}
 }
+
+func TestOpenGroups(t *testing.T) {
+	var nb *Breaker
+	if got := nb.OpenGroups(); got != nil {
+		t.Fatalf("nil breaker OpenGroups = %v, want nil", got)
+	}
+	b := NewBreaker(BreakerConfig{Threshold: 2})
+	trip := func(key string) {
+		for pos := 0; pos < 2; pos++ {
+			b.Acquire(key, pos)
+			b.Record(key, pos, Outcome{Transient: true, Cost: time.Second})
+		}
+	}
+	trip("as20")
+	trip("as10")
+	b.Acquire("as30", 0)
+	b.Record("as30", 0, Outcome{Cost: time.Second}) // success: stays closed
+	got := b.OpenGroups()
+	if len(got) != 2 || got[0] != "as10" || got[1] != "as20" {
+		t.Fatalf("OpenGroups = %v, want sorted [as10 as20]", got)
+	}
+}

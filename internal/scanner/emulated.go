@@ -14,6 +14,7 @@ import (
 	"quicspin/internal/netem"
 	"quicspin/internal/sim"
 	"quicspin/internal/targets"
+	"quicspin/internal/trace"
 	"quicspin/internal/transport"
 	"quicspin/internal/websim"
 )
@@ -26,6 +27,10 @@ type emulatedEngine struct {
 	cfg   Config
 	rng   *rand.Rand
 	tm    *scanTelemetry
+	rec   *trace.Recorder
+	// clock is the loop's Now bound once at construction (a per-scan
+	// method value would allocate on every domain).
+	clock func() time.Time
 
 	loop      *sim.Loop
 	net       *netem.Network
@@ -47,13 +52,15 @@ type serverSite struct {
 	srv  *websim.Server
 }
 
-func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *emulatedEngine {
+func newEmulatedEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry, rec *trace.Recorder) *emulatedEngine {
 	loop := sim.NewLoop(campaignStart(cfg.Week))
 	e := &emulatedEngine{
 		world:    w,
 		cfg:      cfg,
 		rng:      rng,
 		tm:       tm,
+		rec:      rec,
+		clock:    loop.Now,
 		loop:     loop,
 		net:      netem.New(loop, netem.PathConfig{Delay: 10 * time.Millisecond}, rng),
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
@@ -88,7 +95,7 @@ func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 	// Retry backoff advances this worker's virtual clock; the loop also
 	// fires any pending events inside the backoff window.
 	sleep := func(d time.Duration) { e.loop.RunUntil(e.loop.Now().Add(d)) }
-	res := runChain(e.cfg, rng, e.resolver, sleep, e.tm, d, e.connect)
+	res := runChain(e.cfg, rng, e.resolver, sleep, e.tm, e.rec, e.clock, d, e.connect)
 	// Drain the loop completely: leftover events (server retransmissions,
 	// response-chunk timers, idle timeouts) must consume this domain's
 	// random stream, not leak draws into the next domain's scan. A stalled
@@ -103,6 +110,9 @@ func (e *emulatedEngine) scanDomain(d *websim.Domain) DomainResult {
 
 // healthy implements engine; false after a watchdog stall.
 func (e *emulatedEngine) healthy() bool { return !e.stalled }
+
+// clockNow implements engine: the loop's virtual clock.
+func (e *emulatedEngine) clockNow() time.Time { return e.loop.Now() }
 
 // defaultWatchdogSteps bounds the event-loop iterations of one connection
 // deterministically; a healthy exchange needs a few thousand. Exceeding it
@@ -141,6 +151,18 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	}
 
 	start := e.loop.Now()
+	rec := e.rec
+	var netBefore netem.Stats
+	if rec != nil {
+		rec.StageStart("connect", start)
+		rec.SpanAttrInt("hop", int64(hop))
+		rec.SpanAttr("target", target)
+		rec.SpanAttr("ip", serverAddr)
+		if hostileProfile != hostile.None {
+			rec.SpanAttr("hostile", hostileProfile.String())
+		}
+		netBefore = e.net.Stats()
+	}
 	conn := transport.NewClientConn(transport.Config{Rng: e.rng, Budget: transport.DefaultBudget()}, start)
 	client := netem.NewClientHost(e.net, clientAddr, serverAddr, conn)
 	client.ProcessDelay = func() time.Duration { return e.world.Turnaround(e.rng) }
@@ -150,6 +172,9 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	})
 	if err != nil {
 		out.Err = errString(err)
+		if rec != nil {
+			rec.StageEnd(e.loop.Now())
+		}
 		client.Close()
 		return out
 	}
@@ -216,7 +241,20 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 		if steps >= budget || (wall > 0 && steps%1024 == 0 && time.Since(wallStart) > wall) {
 			e.stalled = true
 			e.tm.stalls.Inc()
-			out.Err = "stall: emulated event loop exceeded its watchdog budget"
+			stage := "h3"
+			if hsAt.IsZero() {
+				stage = "handshake"
+			}
+			// The message names the target, the stage the loop died in, and
+			// the step budget — all pure functions of (Seed, Week, domain),
+			// so results stay deterministic. The flight-recorder dump path
+			// travels via the structured trace log, never the result.
+			out.Err = fmt.Sprintf("stall: %s stage for %s exceeded the watchdog budget (%d steps)", stage, target, budget)
+			if rec != nil {
+				rec.StageEnd(e.loop.Now())
+				rec.SpanAttr("stage", stage)
+				rec.MarkDump("stall")
+			}
 			return out
 		}
 	}
@@ -247,6 +285,7 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 		// aborted deliberately, whatever else was in flight.
 		out.Err = hostile.BudgetErrText(be.Kind)
 		e.tm.bumpBudget(be.Kind)
+		rec.MarkDump("budget")
 	case verdict != hostile.None:
 		out.Err = hostile.ErrText(verdict)
 	case resp == nil && out.QUIC && remoteClose(conn):
@@ -271,6 +310,30 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 		out.Err = "timeout: no QUIC handshake"
 	default:
 		out.Err = "timeout: no response"
+	}
+
+	if rec != nil {
+		// connect covers dial → handshake completion; handshake and h3 are
+		// recorded retroactively now that the exchange's instants are known
+		// (spans are a flat sequence, not a stack).
+		if !hsAt.IsZero() {
+			rec.StageEnd(hsAt)
+			rec.StageStart("handshake", start)
+			rec.StageEnd(hsAt)
+			rec.StageStart("h3", hsAt)
+			rec.StageEnd(now)
+		} else {
+			rec.StageEnd(now)
+		}
+		rec.StageStart("observe", now)
+		rec.SpanAttrInt("pkts_zero", int64(out.ZeroPkts))
+		rec.SpanAttrInt("pkts_one", int64(out.OnePkts))
+		rec.SpanAttrInt("spin_edges", int64(spinEdges(obs)))
+		rec.SpanAttrInt("rtt_samples", int64(len(out.StackRTTs)))
+		delta := e.net.Stats().Delta(netBefore)
+		rec.SpanAttrInt("pkts_sent", int64(delta.Sent))
+		rec.SpanAttrInt("pkts_dropped", int64(delta.Dropped))
+		rec.StageEnd(now)
 	}
 
 	conn.Close(now, 0, "scan complete")

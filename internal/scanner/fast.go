@@ -9,6 +9,7 @@ import (
 	"quicspin/internal/dns"
 	"quicspin/internal/hostile"
 	"quicspin/internal/targets"
+	"quicspin/internal/trace"
 	"quicspin/internal/transport"
 	"quicspin/internal/websim"
 )
@@ -19,10 +20,14 @@ import (
 // campaign-scale runs; TestEnginesAgree validates it against the emulated
 // engine.
 type fastEngine struct {
-	world    *websim.World
-	cfg      Config
-	rng      *rand.Rand
-	tm       *scanTelemetry
+	world *websim.World
+	cfg   Config
+	rng   *rand.Rand
+	tm    *scanTelemetry
+	rec   *trace.Recorder
+	// clock feeds runChain's trace timestamps; bound once so the per-scan
+	// call passes an existing closure instead of allocating one.
+	clock    func() time.Time
 	resolver *dns.Resolver
 	now      time.Time
 	// drng is the reusable per-domain Rand: reseeding it with domainSeed is
@@ -41,16 +46,18 @@ type fastEngine struct {
 	obs   []core.Observation
 }
 
-func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) *fastEngine {
+func newFastEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry, rec *trace.Recorder) *fastEngine {
 	e := &fastEngine{
 		world:    w,
 		cfg:      cfg,
 		rng:      rng,
 		tm:       tm,
+		rec:      rec,
 		resolver: dns.NewResolver(w.DNSBackend(), rng),
 		now:      campaignStart(cfg.Week),
 		drng:     newLazyRand(),
 	}
+	e.clock = func() time.Time { return e.now }
 	e.resolver.EnableCache()
 	e.resolver.SetTelemetry(cfg.Telemetry)
 	e.resolver.SetSchedule(cfg.DNSSchedule)
@@ -71,12 +78,16 @@ func (e *fastEngine) scanDomain(d *websim.Domain) DomainResult {
 	e.rng = e.drng
 	// No virtual clock to advance here: retry backoff only draws jitter
 	// from the domain rng (sleep is a no-op).
-	return runChain(e.cfg, e.rng, e.resolver, nil, e.tm, d, e.connect)
+	return runChain(e.cfg, e.rng, e.resolver, nil, e.tm, e.rec, e.clock, d, e.connect)
 }
 
 // healthy implements engine; the fast engine holds no loop state that can
 // stall.
 func (e *fastEngine) healthy() bool { return true }
+
+// clockNow implements engine: the week's fixed campaign-start instant
+// (the fast engine's closed-form timeline is anchored there).
+func (e *fastEngine) clockNow() time.Time { return e.now }
 
 // Model constants mirroring the emulated transport.
 const (
@@ -88,12 +99,20 @@ const (
 
 func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string) ConnResult {
 	out := ConnResult{Target: target, IP: ip, Hop: hop}
+	rec := e.rec
+	if rec != nil {
+		rec.StageStart("connect", e.now)
+		rec.SpanAttrInt("hop", int64(hop))
+		rec.SpanAttr("target", target)
+		rec.SpanAttr("ip", ip.String())
+	}
 	if k := e.failFirst[ip.String()]; k > 0 {
 		e.failFirst[ip.String()] = k - 1
 		// Mirror the emulated engine during an injected outage: every
 		// packet is lost, so the handshake times out.
 		out.Err = "timeout: no QUIC handshake"
 		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
+		rec.StageEnd(e.now.Add(e.cfg.timeout()))
 		return out
 	}
 	srv := e.world.ServerAt(ip)
@@ -102,13 +121,18 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string)
 		// Model the emulated engine's stage timing: a blackholed target
 		// burns the full virtual timeout.
 		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
+		rec.StageEnd(e.now.Add(e.cfg.timeout()))
 		return out
+	}
+	if rec != nil && srv.Hostile != hostile.None {
+		rec.SpanAttr("hostile", srv.Hostile.String())
 	}
 	if srv.Hostile == hostile.Slowloris {
 		// The slowloris peer strings the handshake along without ever
 		// completing it: the scan burns the full timeout, handshake-less.
 		out.Err = hostile.ErrText(hostile.Slowloris)
 		e.tm.stTotal.Start(e.now).End(e.now.Add(e.cfg.timeout()))
+		rec.StageEnd(e.now.Add(e.cfg.timeout()))
 		return out
 	}
 	out.QUIC = true
@@ -157,6 +181,20 @@ func (e *fastEngine) connect(target string, ip netip.Addr, hop int, path string)
 	e.tm.stHandshake.Start(e.now).End(hsAt)
 	e.tm.stRequest.Start(hsAt).End(hsAt.Add(lastAt))
 	e.tm.stTotal.Start(e.now).End(hsAt.Add(lastAt))
+	if rec != nil {
+		end := hsAt.Add(lastAt)
+		rec.StageEnd(hsAt)
+		rec.StageStart("handshake", e.now)
+		rec.StageEnd(hsAt)
+		rec.StageStart("h3", hsAt)
+		rec.StageEnd(end)
+		rec.StageStart("observe", end)
+		rec.SpanAttrInt("pkts_zero", int64(out.ZeroPkts))
+		rec.SpanAttrInt("pkts_one", int64(out.OnePkts))
+		rec.SpanAttrInt("spin_edges", int64(spinEdges(e.obs)))
+		rec.SpanAttrInt("rtt_samples", int64(len(out.StackRTTs)))
+		rec.StageEnd(end)
+	}
 	return out
 }
 
@@ -169,12 +207,15 @@ func (e *fastEngine) hostileOutcome(out ConnResult, srv *websim.Server) ConnResu
 	case hostile.MalformedHeader:
 		out.Err = hostile.BudgetErrText(transport.BudgetMalformedDatagram)
 		e.tm.bumpBudget(transport.BudgetMalformedDatagram)
+		e.rec.MarkDump("budget")
 	case hostile.MalformedFrames:
 		out.Err = hostile.BudgetErrText(transport.BudgetMalformedFrame)
 		e.tm.bumpBudget(transport.BudgetMalformedFrame)
+		e.rec.MarkDump("budget")
 	case hostile.PacketStorm:
 		out.Err = hostile.BudgetErrText(transport.BudgetRecvPackets)
 		e.tm.bumpBudget(transport.BudgetRecvPackets)
+		e.rec.MarkDump("budget")
 	default:
 		out.Err = hostile.ErrText(srv.Hostile)
 	}
@@ -185,6 +226,13 @@ func (e *fastEngine) hostileOutcome(out ConnResult, srv *websim.Server) ConnResu
 	e.tm.stHandshake.Start(e.now).End(hsAt)
 	e.tm.stRequest.Start(hsAt).End(hsAt.Add(rtt))
 	e.tm.stTotal.Start(e.now).End(hsAt.Add(rtt))
+	if rec := e.rec; rec != nil {
+		rec.StageEnd(hsAt)
+		rec.StageStart("handshake", e.now)
+		rec.StageEnd(hsAt)
+		rec.StageStart("h3", hsAt)
+		rec.StageEnd(hsAt.Add(rtt))
+	}
 	return out
 }
 

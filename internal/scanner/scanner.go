@@ -31,6 +31,7 @@ import (
 	"quicspin/internal/dns"
 	"quicspin/internal/resilience"
 	"quicspin/internal/telemetry"
+	"quicspin/internal/trace"
 	"quicspin/internal/websim"
 )
 
@@ -77,6 +78,14 @@ type Config struct {
 	// per-stage virtual-time histograms). Nil disables instrumentation at
 	// near-zero cost on the hot path.
 	Telemetry *telemetry.Registry
+	// Trace receives per-domain stage traces (dns → connect → handshake →
+	// h3 → observe → classify) into per-worker flight-recorder rings, for
+	// the /debug/traces endpoint and postmortem dumps on panics, stalls
+	// and budget kills. Timestamps come from the engine's virtual clock,
+	// and tracing draws no randomness, so results — and therefore Tables
+	// 1–5 — are byte-identical with tracing on or off. Nil disables
+	// tracing at zero allocation cost on the hot path.
+	Trace *trace.Tracer
 
 	// Retry bounds deterministic transient-failure retries (DNS timeouts,
 	// handshake timeouts). Backoff runs in virtual time and draws jitter
@@ -332,7 +341,8 @@ func RunBatch(w *websim.World, cfg Config) (*Result, error) {
 			defer wg.Done()
 			c.tm.workersActive.Add(1)
 			defer c.tm.workersActive.Add(-1)
-			eng := buildEngine(w, cfg, newEngineRng(cfg, shard), c.tm)
+			rec := cfg.Trace.Recorder(shard)
+			eng := buildEngine(w, cfg, newEngineRng(cfg, shard), c.tm, rec)
 			for i := shard; i < n; i += nw {
 				if c.interrupted.Load() {
 					return
@@ -343,7 +353,7 @@ func RunBatch(w *websim.World, cfg Config) (*Result, error) {
 				if gate != nil {
 					key, pos = gate.keys[i], gate.pos[i]
 				}
-				res, ok := c.scanStep(&eng, shard, w.DomainAt(i), key, pos)
+				res, ok := c.scanStep(&eng, shard, rec, w.DomainAt(i), key, pos)
 				if !ok {
 					return
 				}
@@ -360,12 +370,14 @@ func RunBatch(w *websim.World, cfg Config) (*Result, error) {
 }
 
 // buildEngine constructs a worker's engine; also used to rebuild one whose
-// state cannot be trusted after a panic or watchdog stall.
-func buildEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry) engine {
+// state cannot be trusted after a panic or watchdog stall. rec is the
+// shard's trace recorder (nil when tracing is disabled); it outlives
+// engine rebuilds so flight rings survive panics and stalls.
+func buildEngine(w *websim.World, cfg Config, rng *rand.Rand, tm *scanTelemetry, rec *trace.Recorder) engine {
 	if cfg.Engine == EngineFast {
-		return newFastEngine(w, cfg, rng, tm)
+		return newFastEngine(w, cfg, rng, tm, rec)
 	}
-	return newEmulatedEngine(w, cfg, rng, tm)
+	return newEmulatedEngine(w, cfg, rng, tm, rec)
 }
 
 // scanSafely isolates one domain scan: a panic anywhere in the engine is
@@ -377,14 +389,20 @@ func scanSafely(eng engine, cfg Config, d *websim.Domain) (res DomainResult, pan
 			panicked = true
 			res = DomainResult{
 				Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist,
-				Conns: []ConnResult{{Target: d.Host(), Err: fmt.Sprintf("panic: %v", r)}},
+				Conns: []ConnResult{{Target: d.Host(), Err: fmt.Sprintf("panic: scanning %s: %v", d.Name, r)}},
 			}
 		}
 	}()
+	return eng.scanDomain(d), false
+}
+
+// maybePanic fires the test-only injected fault. runChain calls it once
+// per scan, after the stage spans exist but before the trace commits, so
+// the recovered panic's flight dump carries the victim's full stage trace.
+func maybePanic(cfg Config, d *websim.Domain) {
 	if cfg.panicHook != nil && cfg.panicHook(d.Name) {
 		panic("injected scanner fault")
 	}
-	return eng.scanDomain(d), false
 }
 
 // newEngineRng derives a worker shard's random stream from the run seed.
@@ -406,10 +424,13 @@ func domainRng(cfg Config, name string) *rand.Rand {
 
 // engine executes one domain scan. healthy reports whether the engine can
 // scan further domains; a stalled emulated loop returns false and the
-// worker rebuilds the engine.
+// worker rebuilds the engine. clockNow exposes the engine's virtual clock
+// so campaign-layer trace events (breaker skips, checkpoint replays)
+// timestamp consistently with in-scan spans.
 type engine interface {
 	scanDomain(d *websim.Domain) DomainResult
 	healthy() bool
+	clockNow() time.Time
 }
 
 // Retry stages (telemetry labels of retries_total).
@@ -487,17 +508,35 @@ func connectRetry(rt *retrier, addrs []netip.Addr, dial func(ip netip.Addr) Conn
 
 // runChain executes one domain's full scan — landing request plus redirect
 // chain — with retry and multi-address fallback. Both engines share it;
-// dial performs one engine-specific connection attempt.
-func runChain(cfg Config, rng *rand.Rand, resolver *dns.Resolver, sleep func(time.Duration), tm *scanTelemetry, d *websim.Domain, dial func(target string, ip netip.Addr, hop int, path string) ConnResult) DomainResult {
+// dial performs one engine-specific connection attempt. rec and now carry
+// the shard's trace recorder and the engine's virtual clock; with tracing
+// disabled (nil rec) every trace block is skipped and the scan allocates
+// nothing extra. Tracing reads the clock but draws no randomness, so the
+// DomainResult is identical with tracing on or off.
+func runChain(cfg Config, rng *rand.Rand, resolver *dns.Resolver, sleep func(time.Duration), tm *scanTelemetry, rec *trace.Recorder, now func() time.Time, d *websim.Domain, dial func(target string, ip netip.Addr, hop int, path string) ConnResult) DomainResult {
 	rt := &retrier{policy: cfg.Retry, rng: rng, sleep: sleep, tm: tm}
 	res := DomainResult{Domain: d.Name, TLD: d.TLD, Toplist: d.Toplist}
 	target, path := d.Host(), "/"
+	if rec != nil {
+		at := now()
+		rec.Begin(d.Name, at)
+		rec.StageStart("dns", at)
+	}
 	addrs, err := resolveRetry(rt, resolver, target, cfg.IPv6)
 	if err != nil {
 		res.DNSErr = errString(err)
+		if rec != nil {
+			rec.StageEnd(now())
+		}
+		maybePanic(cfg, d)
+		traceFinish(rec, now, rt, &res)
 		return res
 	}
 	res.Resolved = true
+	if rec != nil {
+		rec.StageEnd(now())
+		rec.SpanAttrInt("addrs", int64(len(addrs)))
+	}
 	for hop := 0; hop <= cfg.maxRedirects(); hop++ {
 		hop := hop
 		conn := connectRetry(rt, addrs, func(ip netip.Addr) ConnResult {
@@ -518,7 +557,54 @@ func runChain(cfg Config, rng *rand.Rand, resolver *dns.Resolver, sleep func(tim
 		}
 		addrs = naddrs
 	}
+	maybePanic(cfg, d)
+	traceFinish(rec, now, rt, &res)
 	return res
+}
+
+// traceOutcome labels a finished domain for the trace ring and exemplar
+// sampler: "ok", or the resilience class of the landing failure.
+func traceOutcome(res *DomainResult) string {
+	if cls := classifyDomain(res); cls != resilience.ClassNone {
+		return cls.String()
+	}
+	return "ok"
+}
+
+// traceFinish closes the domain trace: a classify span, domain-level
+// attrs (retry budget spent, chain depth), the first error in chain
+// order, and the outcome label.
+func traceFinish(rec *trace.Recorder, now func() time.Time, rt *retrier, res *DomainResult) {
+	if rec == nil {
+		return
+	}
+	at := now()
+	outcome := traceOutcome(res)
+	rec.StageStart("classify", at)
+	rec.SpanAttr("class", outcome)
+	rec.StageEnd(at)
+	rec.AttrInt("retries", int64(rt.used))
+	rec.AttrInt("hops", int64(len(res.Conns)))
+	rec.Error(res.DNSErr)
+	for i := range res.Conns {
+		if res.Conns[i].Err != "" {
+			rec.Error(res.Conns[i].Err)
+			break
+		}
+	}
+	rec.End(at, outcome)
+}
+
+// spinEdges counts spin-value transitions in a received series (the
+// trace's spin-activity attr; table analysis has its own edge logic).
+func spinEdges(obs []core.Observation) int {
+	n := 0
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Spin != obs[i-1].Spin {
+			n++
+		}
+	}
+	return n
 }
 
 // splitRedirect parses a Location value of the form https://host[:port]/path.

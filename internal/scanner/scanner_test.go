@@ -318,7 +318,7 @@ func BenchmarkEmulatedScanPerDomain(b *testing.B) {
 	w := testWorld(100_000)
 	cfg := Config{Week: 1, Engine: EngineEmulated, Seed: 1, Workers: 1}
 	rng := newEngineRng(cfg, 0)
-	eng := newEmulatedEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry))
+	eng := newEmulatedEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.scanDomain(w.Domains[i%len(w.Domains)])
@@ -329,7 +329,7 @@ func BenchmarkFastScanPerDomain(b *testing.B) {
 	w := testWorld(100_000)
 	cfg := Config{Week: 1, Engine: EngineFast, Seed: 1, Workers: 1}
 	rng := newEngineRng(cfg, 0)
-	eng := newFastEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry))
+	eng := newFastEngine(w, cfg, rng, newScanTelemetry(cfg.Telemetry), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.scanDomain(w.Domains[i%len(w.Domains)])

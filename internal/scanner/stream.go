@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quicspin/internal/resilience"
+	"quicspin/internal/trace"
 	"quicspin/internal/websim"
 )
 
@@ -129,7 +130,7 @@ func (c *campaign) close() {
 // breaker recording, journaling and telemetry. ok is false when the
 // campaign was aborted while waiting on the breaker; the caller's worker
 // should stop scanning.
-func (c *campaign) scanStep(eng *engine, shard int, d *websim.Domain, key string, pos int) (res DomainResult, ok bool) {
+func (c *campaign) scanStep(eng *engine, shard int, rec *trace.Recorder, d *websim.Domain, key string, pos int) (res DomainResult, ok bool) {
 	// The breaker serialises decisions in canonical domain order per
 	// group; batches are dispatched and processed in ascending index
 	// order, so waits are only ever on strictly-earlier indices and
@@ -143,31 +144,57 @@ func (c *campaign) scanStep(eng *engine, shard int, d *websim.Domain, key string
 		if dec.Probe {
 			c.tm.breakerProbes.Inc()
 		}
+		if rec != nil && (dec.State != resilience.StateClosed || dec.Probe) {
+			// Queued for the next Begin: the engine opens the trace, but the
+			// breaker verdict is campaign-layer context worth keeping on it.
+			rec.Pending("breaker", dec.State.String())
+		}
 	}
 	res, fromCheckpoint := replayResult(c.replayed, c.cfg, d)
 	if fromCheckpoint {
 		c.tm.resumed.Inc()
+		if rec != nil {
+			at := (*eng).clockNow()
+			rec.Begin(d.Name, at)
+			rec.Attr("source", "checkpoint")
+			rec.End(at, traceOutcome(&res))
+		}
 	} else if dec.Skip {
 		res = breakerSkipResult(d)
 		c.tm.breakerSkipped.Inc()
+		if rec != nil {
+			at := (*eng).clockNow()
+			rec.Begin(d.Name, at)
+			rec.Attr("source", "breaker-skip")
+			rec.End(at, traceOutcome(&res))
+		}
 	} else {
 		var panicked bool
 		res, panicked = scanSafely(*eng, c.cfg, d)
 		if panicked {
 			c.tm.panics.Inc()
+			// Commit the partial trace the panic unwound through and dump
+			// the flight recorder so the postmortem keeps the victim's
+			// stage spans. No-ops when the panic hit before Begin.
+			rec.Error(res.Conns[0].Err)
+			rec.Abort("panic")
 		}
 		if panicked || !(*eng).healthy() {
 			// The engine's loop or internal state cannot be trusted after
 			// a panic or stall: rebuild it. Per-domain rng derivation
 			// keeps every other domain's result unchanged.
-			*eng = buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm)
+			*eng = buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm, rec)
 		}
 	}
 	if key != "" {
 		// Replayed results report the same outcome their live scan did,
 		// so the breaker replays to the same state.
-		if ev := c.br.Record(key, pos, domainOutcome(&res, c.cfg)); ev.Opened {
+		switch ev := c.br.Record(key, pos, domainOutcome(&res, c.cfg)); {
+		case ev.Opened:
 			c.tm.breakerOpen.Inc()
+			c.tm.breakerGroups.Add(1)
+		case ev.Closed:
+			c.tm.breakerGroups.Add(-1)
 		}
 	}
 	c.tm.recordDomain(&res)
@@ -188,7 +215,8 @@ func (c *campaign) scanStep(eng *engine, shard int, d *websim.Domain, key string
 func (c *campaign) worker(shard int, work <-chan domainBatch, results chan<- resultBatch) {
 	c.tm.workersActive.Add(1)
 	defer c.tm.workersActive.Add(-1)
-	eng := buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm)
+	rec := c.cfg.Trace.Recorder(shard)
+	eng := buildEngine(c.w, c.cfg, newEngineRng(c.cfg, shard), c.tm, rec)
 	for b := range work {
 		rb := resultBatch{start: b.start, dispatched: len(b.domains)}
 		rb.results = make([]DomainResult, 0, len(b.domains))
@@ -200,7 +228,7 @@ func (c *campaign) worker(shard int, work <-chan domainBatch, results chan<- res
 			if b.keys != nil {
 				key, pos = b.keys[j], b.pos[j]
 			}
-			res, ok := c.scanStep(&eng, shard, d, key, pos)
+			res, ok := c.scanStep(&eng, shard, rec, d, key, pos)
 			if !ok {
 				break
 			}

@@ -30,6 +30,7 @@ import (
 //	scan_panics_total                   worker panics downgraded to results
 //	scan_stalls_total                   emulated loops killed by the watchdog
 //	breaker_open_total                  circuit-breaker open transitions
+//	breaker_groups_open                 groups currently open or half-open
 //	breaker_skipped_total               domains skipped by an open breaker
 //	breaker_probes_total                half-open probe scans
 //	domains_resumed_total               domains replayed from a checkpoint
@@ -112,6 +113,7 @@ type scanTelemetry struct {
 	retriesExhausted *telemetry.Counter
 	panics, stalls   *telemetry.Counter
 	breakerOpen      *telemetry.Counter
+	breakerGroups    *telemetry.Gauge
 	breakerSkipped   *telemetry.Counter
 	breakerProbes    *telemetry.Counter
 	resumed          *telemetry.Counter
@@ -149,6 +151,7 @@ func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
 		panics:           reg.Counter("scan_panics_total"),
 		stalls:           reg.Counter("scan_stalls_total"),
 		breakerOpen:      reg.Counter("breaker_open_total"),
+		breakerGroups:    reg.Gauge("breaker_groups_open"),
 		breakerSkipped:   reg.Counter("breaker_skipped_total"),
 		breakerProbes:    reg.Counter("breaker_probes_total"),
 		resumed:          reg.Counter("domains_resumed_total"),

@@ -170,7 +170,7 @@ func BenchmarkFastScanPerDomainTelemetry(b *testing.B) {
 	cfg := Config{Week: 1, Engine: EngineFast, Seed: 1, Workers: 1, Telemetry: telemetry.New()}
 	rng := newEngineRng(cfg, 0)
 	tm := newScanTelemetry(cfg.Telemetry)
-	eng := newFastEngine(w, cfg, rng, tm)
+	eng := newFastEngine(w, cfg, rng, tm, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := eng.scanDomain(w.Domains[i%len(w.Domains)])

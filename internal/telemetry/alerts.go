@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Op is an alert rule's comparison direction.
+type Op int
+
+const (
+	// OpAbove fires when the measured value exceeds the threshold
+	// (ceilings: error rate).
+	OpAbove Op = iota
+	// OpBelow fires when the measured value drops under the threshold
+	// (floors: throughput, spin-observable share).
+	OpBelow
+)
+
+// String renders the operator the way alert specs spell it.
+func (o Op) String() string {
+	if o == OpBelow {
+		return ">="
+	}
+	return "<="
+}
+
+// Rule is one thresholded condition over a registry snapshot. Value
+// extracts the measured quantity; the rule fires when the value crosses
+// the threshold in the Op direction.
+type Rule struct {
+	// Name labels the alert (and its alert_firing{alert="<name>"} gauge).
+	Name string
+	// Value measures the quantity from a snapshot. It must handle the
+	// campaign's warm-up state (zero counters) gracefully.
+	Value func(*Snapshot) float64
+	// Op is the comparison direction; Threshold the limit.
+	Op        Op
+	Threshold float64
+}
+
+// violated reports whether the measured value breaches the rule.
+func (r *Rule) violated(v float64) bool {
+	if r.Op == OpBelow {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// AlertEngine evaluates threshold rules against the registry and exposes
+// the outcome three ways: per-alert `alert_firing{alert="…"}` gauges (0/1)
+// scraped with every other metric, structured warnings through Logf on
+// every transition, and the /debug/alerts JSON document. Evaluation is
+// pull-based — the caller decides the cadence (spinscan ties it to the
+// progress ticker). A nil engine is a valid no-op.
+type AlertEngine struct {
+	reg  *Registry
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	rules  []Rule
+	gauges map[string]*Gauge
+	firing map[string]bool
+	values map[string]float64
+}
+
+// NewAlertEngine creates an engine over reg. logf receives one structured
+// line per alert transition (nil disables logging).
+func NewAlertEngine(reg *Registry, logf func(format string, args ...any)) *AlertEngine {
+	return &AlertEngine{
+		reg:    reg,
+		logf:   logf,
+		gauges: map[string]*Gauge{},
+		firing: map[string]bool{},
+		values: map[string]float64{},
+	}
+}
+
+// AddRule registers a rule and pre-resolves its firing gauge. No-op on a
+// nil engine or a rule without a Name or Value.
+func (a *AlertEngine) AddRule(r Rule) {
+	if a == nil || r.Name == "" || r.Value == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rules = append(a.rules, r)
+	a.gauges[r.Name] = a.reg.Gauge(Name("alert_firing", "alert", r.Name))
+}
+
+// Evaluate measures every rule against a fresh snapshot, flips the firing
+// gauges, logs transitions, and returns the sorted names of currently
+// firing alerts. Nil-safe.
+func (a *AlertEngine) Evaluate() []string {
+	if a == nil {
+		return nil
+	}
+	snap := a.reg.Snapshot()
+	snapPtr := &snap
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for i := range a.rules {
+		r := &a.rules[i]
+		v := r.Value(snapPtr)
+		a.values[r.Name] = v
+		now := r.violated(v)
+		if now {
+			out = append(out, r.Name)
+		}
+		if now == a.firing[r.Name] {
+			continue
+		}
+		a.firing[r.Name] = now
+		if now {
+			a.gauges[r.Name].Set(1)
+			if a.logf != nil {
+				a.logf("alert firing: alert=%s value=%s threshold=%s%s",
+					r.Name, trimFloat(v), r.Op, trimFloat(r.Threshold))
+			}
+		} else {
+			a.gauges[r.Name].Set(0)
+			if a.logf != nil {
+				a.logf("alert resolved: alert=%s value=%s threshold=%s%s",
+					r.Name, trimFloat(v), r.Op, trimFloat(r.Threshold))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Firing returns the sorted names of alerts firing as of the last
+// Evaluate. Nil-safe.
+func (a *AlertEngine) Firing() []string {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for name, on := range a.firing {
+		if on {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// alertDoc is the /debug/alerts JSON document.
+type alertDoc struct {
+	Firing []string        `json:"firing"`
+	Rules  []alertRuleView `json:"rules"`
+}
+
+type alertRuleView struct {
+	Name      string  `json:"name"`
+	Op        string  `json:"op"`
+	Threshold float64 `json:"threshold"`
+	Value     float64 `json:"value"`
+	Firing    bool    `json:"firing"`
+}
+
+// Handler serves the engine's state as JSON; re-evaluates on every
+// request so the document is current even between ticker evaluations.
+// A nil engine serves an empty document (HTTP 200).
+func (a *AlertEngine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := alertDoc{Firing: []string{}, Rules: []alertRuleView{}}
+		if a != nil {
+			doc.Firing = a.Evaluate()
+			if doc.Firing == nil {
+				doc.Firing = []string{}
+			}
+			a.mu.Lock()
+			for i := range a.rules {
+				r := &a.rules[i]
+				doc.Rules = append(doc.Rules, alertRuleView{
+					Name: r.Name, Op: r.Op.String(), Threshold: r.Threshold,
+					Value: a.values[r.Name], Firing: a.firing[r.Name],
+				})
+			}
+			a.mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&doc)
+	})
+}
+
+// trimFloat renders thresholds and values compactly for log lines.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

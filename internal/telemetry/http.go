@@ -5,8 +5,19 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
+
+// Endpoint attaches an extra handler to the debug mux — the campaign
+// dashboard (/debug/campaign), the trace viewer (/debug/traces) and the
+// alert engine (/debug/alerts) register themselves this way without the
+// telemetry package importing them. Entries with an empty path or nil
+// handler are skipped.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
 
 // DebugHandler serves the registry over HTTP:
 //
@@ -14,9 +25,16 @@ import (
 //	/snapshot       the Snapshot JSON document
 //	/debug/pprof/   the stdlib pprof index (profile, heap, trace, …)
 //
-// Handlers are safe to serve while a campaign is mutating the registry.
-func DebugHandler(r *Registry) http.Handler {
+// plus any extra endpoints. Handlers are safe to serve while a campaign
+// is mutating the registry.
+func DebugHandler(r *Registry, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		if e.Path == "" || e.Handler == nil {
+			continue
+		}
+		mux.Handle(e.Path, e.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
@@ -38,18 +56,21 @@ func DebugHandler(r *Registry) http.Handler {
 // DebugServer is a running debug endpoint; close it when the campaign
 // finishes.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	once sync.Once
+	err  error
 }
 
 // StartDebugServer listens on addr (e.g. ":9090", or ":0" for an
-// ephemeral port) and serves DebugHandler(r) in a background goroutine.
-func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+// ephemeral port) and serves DebugHandler(r, extra...) in a background
+// goroutine.
+func StartDebugServer(addr string, r *Registry, extra ...Endpoint) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: DebugHandler(r), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: DebugHandler(r, extra...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{ln: ln, srv: srv}, nil
 }
@@ -57,5 +78,9 @@ func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close shuts the server down immediately. Idempotent: later calls
+// return the first call's result.
+func (d *DebugServer) Close() error {
+	d.once.Do(func() { d.err = d.srv.Close() })
+	return d.err
+}

@@ -1,0 +1,327 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusHelpGolden pins HELP emission: one `# HELP` and one
+// `# TYPE` line per family, no matter how many labeled series the family
+// holds, with help texts escaped per the text format.
+func TestPrometheusHelpGolden(t *testing.T) {
+	r := New()
+	r.Counter(Name("scan_errs_total", "class", "reset")).Add(2)
+	r.Counter(Name("scan_errs_total", "class", "timeout")).Add(5)
+	r.Counter(Name("scan_errs_total", "class", "dns")).Add(1)
+	r.Gauge("scan_week").Set(3)
+	h := r.Histogram(Name("scan_stage_seconds", "stage", "handshake"), []float64{0.01})
+	h.Observe(0.005)
+	h2 := r.Histogram(Name("scan_stage_seconds", "stage", "request"), []float64{0.01})
+	h2.Observe(0.5)
+	r.SetHelp("scan_errs_total", "failed connections by error class")
+	r.SetHelp("scan_stage_seconds", `virtual-time stage histograms \ with
+newline`)
+	r.SetHelp("scan_missing", "set but never registered: not emitted")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP scan_errs_total failed connections by error class
+# TYPE scan_errs_total counter
+scan_errs_total{class="dns"} 1
+scan_errs_total{class="reset"} 2
+scan_errs_total{class="timeout"} 5
+# HELP scan_stage_seconds virtual-time stage histograms \\ with\nnewline
+# TYPE scan_stage_seconds histogram
+scan_stage_seconds_bucket{stage="handshake",le="0.01"} 1
+scan_stage_seconds_bucket{stage="handshake",le="+Inf"} 1
+scan_stage_seconds_sum{stage="handshake"} 0.005
+scan_stage_seconds_count{stage="handshake"} 1
+scan_stage_seconds_bucket{stage="request",le="0.01"} 0
+scan_stage_seconds_bucket{stage="request",le="+Inf"} 1
+scan_stage_seconds_sum{stage="request"} 0.5
+scan_stage_seconds_count{stage="request"} 1
+# TYPE scan_week gauge
+scan_week 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusKindConflictDeterministic pins the conflicting-kind
+// resolution: a base name registered as several kinds always claims the
+// highest-ranked one (histogram > gauge > counter), independent of map
+// iteration order.
+func TestPrometheusKindConflictDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		r := New()
+		r.Counter(Name("mixed", "l", "c")).Inc()
+		r.Gauge(Name("mixed", "l", "g")).Set(1)
+		r.Histogram(Name("mixed", "l", "h"), []float64{1}).Observe(0.5)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "# TYPE mixed histogram") {
+			t.Fatalf("iteration %d: TYPE line not histogram:\n%s", i, sb.String())
+		}
+		if strings.Count(sb.String(), "# TYPE mixed ") != 1 {
+			t.Fatalf("iteration %d: more than one TYPE line for one base:\n%s", i, sb.String())
+		}
+	}
+}
+
+// TestSetHelpNilAndClear covers the nil registry and the clearing path.
+func TestSetHelpNilAndClear(t *testing.T) {
+	var nr *Registry
+	nr.SetHelp("x", "help") // must not panic
+	r := New()
+	r.Counter("x_total").Inc()
+	r.SetHelp("x_total", "something")
+	r.SetHelp("x_total", "") // cleared
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# HELP") {
+		t.Errorf("cleared help still emitted:\n%s", sb.String())
+	}
+}
+
+// TestStartDebugServerBadAddr covers the listen-failure path.
+func TestStartDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("definitely-not-a-host:not-a-port:extra", New()); err == nil {
+		t.Fatal("StartDebugServer accepted a malformed address")
+	}
+}
+
+// TestDebugServerDoubleClose pins Close idempotency: the second call
+// returns the first call's result instead of racing a dead server.
+func TestDebugServerDoubleClose(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+// TestDebugServerSnapshotWhileWriting scrapes /snapshot and /metrics while
+// writers mutate the registry (run under -race via scripts/check.sh): the
+// documents must stay well-formed mid-campaign.
+func TestDebugServerSnapshotWhileWriting(t *testing.T) {
+	r := New()
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("live_total")
+			h := r.Histogram("live_seconds", DurationBuckets)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%10) / 100)
+				r.Counter(Name("live_labelled_total", "w", fmt.Sprint(w))).Inc()
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 25 && time.Now().Before(deadline); i++ {
+		resp, err := http.Get("http://" + srv.Addr() + "/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("snapshot %d does not parse: %v", i, err)
+		}
+		resp.Body.Close()
+		resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# TYPE") {
+			t.Fatalf("metrics scrape %d: status=%d body=%q", i, resp.StatusCode, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDebugHandlerExtraEndpoints checks extra-endpoint registration (and
+// that blank entries are skipped rather than panicking the mux).
+func TestDebugHandlerExtraEndpoints(t *testing.T) {
+	extra := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("dashboard"))
+	})
+	srv, err := StartDebugServer("127.0.0.1:0", New(),
+		Endpoint{Path: "/debug/campaign", Handler: extra},
+		Endpoint{Path: "", Handler: extra}, // skipped
+		Endpoint{Path: "/nil", Handler: nil},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "dashboard" {
+		t.Fatalf("extra endpoint: status=%d body=%q", resp.StatusCode, body)
+	}
+	if resp, err := http.Get("http://" + srv.Addr() + "/nil"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("nil-handler endpoint should not serve 200")
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestAlertEngine exercises the threshold engine: transitions flip the
+// alert_firing gauges exactly once per crossing and log both directions.
+func TestAlertEngine(t *testing.T) {
+	r := New()
+	var mu sync.Mutex
+	var logs []string
+	eng := NewAlertEngine(r, func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	errRate := func(s *Snapshot) float64 {
+		attempted := float64(s.Counters["conns_total"])
+		if attempted == 0 {
+			return 0
+		}
+		return float64(s.Counters["errs_total"]) / attempted
+	}
+	eng.AddRule(Rule{Name: "error-rate", Value: errRate, Op: OpAbove, Threshold: 0.5})
+	eng.AddRule(Rule{Name: "domains-per-sec", Value: func(s *Snapshot) float64 {
+		return float64(s.Gauges["dps"])
+	}, Op: OpBelow, Threshold: 100})
+
+	r.Gauge("dps").Set(500)
+	if firing := eng.Evaluate(); len(firing) != 0 {
+		t.Fatalf("healthy campaign firing %v", firing)
+	}
+
+	// Error rate climbs over the ceiling and throughput under the floor.
+	r.Counter("conns_total").Add(10)
+	r.Counter("errs_total").Add(8)
+	r.Gauge("dps").Set(50)
+	firing := eng.Evaluate()
+	if len(firing) != 2 || firing[0] != "domains-per-sec" || firing[1] != "error-rate" {
+		t.Fatalf("firing = %v, want sorted [domains-per-sec error-rate]", firing)
+	}
+	if got := r.Gauge(Name("alert_firing", "alert", "error-rate")).Value(); got != 1 {
+		t.Errorf("error-rate gauge = %d, want 1", got)
+	}
+	if got := eng.Firing(); len(got) != 2 {
+		t.Errorf("Firing() = %v", got)
+	}
+
+	// Recovery resolves both and resets the gauges.
+	r.Counter("conns_total").Add(1000)
+	r.Gauge("dps").Set(900)
+	if firing := eng.Evaluate(); len(firing) != 0 {
+		t.Fatalf("recovered campaign still firing %v", firing)
+	}
+	if got := r.Gauge(Name("alert_firing", "alert", "error-rate")).Value(); got != 0 {
+		t.Errorf("error-rate gauge after recovery = %d, want 0", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var fired, resolved int
+	for _, l := range logs {
+		if strings.HasPrefix(l, "alert firing:") {
+			fired++
+		}
+		if strings.HasPrefix(l, "alert resolved:") {
+			resolved++
+		}
+	}
+	if fired != 2 || resolved != 2 {
+		t.Errorf("transitions logged: fired=%d resolved=%d, want 2/2; logs=%v", fired, resolved, logs)
+	}
+}
+
+// TestAlertEngineNilAndHandler covers the nil engine and the JSON
+// endpoint.
+func TestAlertEngineNilAndHandler(t *testing.T) {
+	var nilEng *AlertEngine
+	nilEng.AddRule(Rule{Name: "x", Value: func(*Snapshot) float64 { return 0 }})
+	if got := nilEng.Evaluate(); got != nil {
+		t.Errorf("nil Evaluate = %v", got)
+	}
+	if got := nilEng.Firing(); got != nil {
+		t.Errorf("nil Firing = %v", got)
+	}
+
+	r := New()
+	eng := NewAlertEngine(r, nil)
+	eng.AddRule(Rule{Name: "floor", Value: func(s *Snapshot) float64 {
+		return float64(s.Gauges["v"])
+	}, Op: OpBelow, Threshold: 10})
+	r.Gauge("v").Set(3)
+	srv, err := StartDebugServer("127.0.0.1:0", r, Endpoint{Path: "/debug/alerts", Handler: eng.Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Firing []string `json:"firing"`
+		Rules  []struct {
+			Name   string  `json:"name"`
+			Op     string  `json:"op"`
+			Value  float64 `json:"value"`
+			Firing bool    `json:"firing"`
+		} `json:"rules"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Firing) != 1 || doc.Firing[0] != "floor" {
+		t.Fatalf("alerts doc firing = %v", doc.Firing)
+	}
+	if len(doc.Rules) != 1 || !doc.Rules[0].Firing || doc.Rules[0].Op != ">=" || doc.Rules[0].Value != 3 {
+		t.Fatalf("alerts doc rules = %+v", doc.Rules)
+	}
+}

@@ -9,15 +9,20 @@ import (
 )
 
 // WritePrometheus renders every metric in the registry in the Prometheus
-// text exposition format (version 0.0.4): one `# TYPE` line per metric
-// family, series sorted by name, histograms expanded into cumulative
-// `_bucket`/`_sum`/`_count` series with the conventional `le` label. A nil
-// registry writes nothing.
+// text exposition format (version 0.0.4): one `# HELP` line (when set via
+// SetHelp) and one `# TYPE` line per metric family — no matter how many
+// labeled series the family holds — series sorted by name, histograms
+// expanded into cumulative `_bucket`/`_sum`/`_count` series with the
+// conventional `le` label. A base name registered under conflicting kinds
+// (a misuse) resolves deterministically: histogram wins over gauge wins
+// over counter, because a histogram family's derived series would make
+// any other TYPE claim flat-out wrong. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	snap := r.Snapshot()
+	helps := r.helpTexts()
 
 	type series struct {
 		full string // full series name incl. labels
@@ -28,7 +33,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	for name, v := range snap.Counters {
 		base, _ := splitName(name)
-		families[base] = "counter"
+		families[base] = mergeKind(families[base], "counter")
 		name, v := name, v
 		all = append(all, series{name, func(w io.Writer) error {
 			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
@@ -37,7 +42,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for name, v := range snap.Gauges {
 		base, _ := splitName(name)
-		families[base] = "gauge"
+		families[base] = mergeKind(families[base], "gauge")
 		name, v := name, v
 		all = append(all, series{name, func(w io.Writer) error {
 			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
@@ -46,7 +51,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for name, h := range snap.Histograms {
 		base, _ := splitName(name)
-		families[base] = "histogram"
+		families[base] = mergeKind(families[base], "histogram")
 		name, h := name, h
 		all = append(all, series{name, func(w io.Writer) error {
 			return writeHistogram(w, name, h)
@@ -62,6 +67,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(bases)
 	for _, base := range bases {
+		if h := helps[base]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, families[base]); err != nil {
 			return err
 		}
@@ -75,6 +85,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// kindRank orders metric kinds for conflicting-registration resolution.
+func kindRank(kind string) int {
+	switch kind {
+	case "histogram":
+		return 3
+	case "gauge":
+		return 2
+	case "counter":
+		return 1
+	}
+	return 0
+}
+
+// mergeKind resolves one family's TYPE when series of different kinds
+// share a base name; the higher-ranked kind wins, independent of map
+// iteration order.
+func mergeKind(old, kind string) string {
+	if kindRank(old) >= kindRank(kind) {
+		return old
+	}
+	return kind
+}
+
+// escapeHelp escapes a HELP text per the Prometheus text format (only
+// backslash and newline are special on HELP lines).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
 }
 
 // writeHistogram expands one histogram series into cumulative buckets.

@@ -213,6 +213,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	helps  map[string]string // base family name → HELP text
 	hook   atomic.Pointer[SpanHook]
 }
 
@@ -223,6 +224,40 @@ func New() *Registry {
 		gauges: map[string]*Gauge{},
 		hists:  map[string]*Histogram{},
 	}
+}
+
+// SetHelp attaches a HELP string to a metric family (the base name,
+// without labels). WritePrometheus emits it as a `# HELP` line, once per
+// family regardless of how many labeled series the family has. An empty
+// help clears the entry. No-op on a nil registry.
+func (r *Registry) SetHelp(base, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if help == "" {
+		delete(r.helps, base)
+		return
+	}
+	if r.helps == nil {
+		r.helps = map[string]string{}
+	}
+	r.helps[base] = help
+}
+
+// helpTexts copies the HELP map for the exposition writer.
+func (r *Registry) helpTexts() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.helps) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		out[k] = v
+	}
+	return out
 }
 
 // SetSpanHook installs (or clears, with nil) the hook invoked at every

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// tracesDoc is the JSON document served by the /debug/traces endpoint.
+type tracesDoc struct {
+	Recent    []*Trace         `json:"recent"`
+	Exemplars ExemplarSnapshot `json:"exemplars"`
+	Dumps     int64            `json:"dumps"`
+}
+
+// Handler serves the tracer's state:
+//
+//	/debug/traces              recent + exemplar traces as JSON
+//	/debug/traces?format=text  a human-readable stage-span view
+//	/debug/traces?n=50         cap the recent list (default 100)
+//
+// Safe to serve while a campaign is committing traces. A nil tracer
+// serves an empty document (HTTP 200), so the endpoint can be registered
+// unconditionally.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 100
+		if q := req.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		doc := tracesDoc{
+			Recent:    t.Recent(n),
+			Exemplars: t.Exemplars(),
+			Dumps:     t.LastDumpCount(),
+		}
+		if doc.Recent == nil {
+			doc.Recent = []*Trace{}
+		}
+		if doc.Exemplars.Failed == nil {
+			doc.Exemplars.Failed = map[string][]*Trace{}
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTracesText(w, &doc)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&doc)
+	})
+}
+
+// writeTracesText renders the human-readable view: one block per trace,
+// one line per stage span with duration and attrs.
+func writeTracesText(w http.ResponseWriter, doc *tracesDoc) {
+	fmt.Fprintf(w, "flight dumps: %d\n\n", doc.Dumps)
+	fmt.Fprintf(w, "== recent traces (%d)\n", len(doc.Recent))
+	for _, t := range doc.Recent {
+		writeTraceText(w, t)
+	}
+	fmt.Fprintf(w, "\n== slowest exemplars (%d)\n", len(doc.Exemplars.Slowest))
+	for _, t := range doc.Exemplars.Slowest {
+		writeTraceText(w, t)
+	}
+	classes := make([]string, 0, len(doc.Exemplars.Failed))
+	for c := range doc.Exemplars.Failed {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "\n== failed exemplars: %s (%d)\n", c, len(doc.Exemplars.Failed[c]))
+		for _, t := range doc.Exemplars.Failed[c] {
+			writeTraceText(w, t)
+		}
+	}
+}
+
+func writeTraceText(w http.ResponseWriter, t *Trace) {
+	fmt.Fprintf(w, "%s worker=%d seq=%d outcome=%s dur=%s", t.Domain, t.Worker, t.Seq, t.Outcome, t.Duration())
+	for _, a := range t.Attrs {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Value())
+	}
+	fmt.Fprintln(w)
+	if t.Err != "" {
+		fmt.Fprintf(w, "    err: %s\n", t.Err)
+	}
+	for _, sp := range t.Spans {
+		fmt.Fprintf(w, "    %-10s +%-12s %-12s", sp.Stage, sp.Start.Sub(t.Start), sp.End.Sub(sp.Start))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value())
+		}
+		fmt.Fprintln(w)
+	}
+}

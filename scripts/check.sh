@@ -125,4 +125,54 @@ for eng in emulated fast; do
     fi
 done
 
+# Zero-alloc tracing gate: the race detector above instruments allocations,
+# so the AllocsPerRun assertions skip themselves there; this plain run is
+# the binding check that disabled tracing stays off the scan hot path.
+echo "== zero-alloc tracing gate"
+go test -count=1 -run 'TestDisabledTracingZeroAlloc' ./internal/trace
+
+# Live dashboard smoke: run a traced campaign with the debug endpoint on an
+# ephemeral port and scrape /debug/campaign and /debug/traces mid-scan —
+# both must answer 200 with a non-empty rolling window / trace list.
+echo "== live dashboard smoke"
+"$tmp/spinscan" -scale 20000 -engine emulated -workers 2 -progress 0 \
+    -trace -debug-addr 127.0.0.1:0 >/dev/null 2>"$tmp/dash.log" &
+dash_pid=$!
+dash_addr=""
+i=0
+while [ -z "$dash_addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "debug endpoint never announced itself:" >&2
+        cat "$tmp/dash.log" >&2
+        exit 1
+    fi
+    dash_addr=$(sed -n 's|.*debug endpoint on http://\([^ ]*\).*|\1|p' "$tmp/dash.log" | head -1)
+    [ -n "$dash_addr" ] || sleep 0.05
+done
+dash_ok=0
+i=0
+while [ "$i" -lt 200 ] && kill -0 "$dash_pid" 2>/dev/null; do
+    i=$((i + 1))
+    code=$(curl -s -o "$tmp/campaign.json" -w '%{http_code}' \
+        "http://$dash_addr/debug/campaign?format=json" || true)
+    # A non-empty open window proves the dashboard is fed mid-scan.
+    if [ "$code" = 200 ] && grep -q '"domains": [1-9]' "$tmp/campaign.json"; then
+        dash_ok=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$dash_ok" != 1 ]; then
+    echo "/debug/campaign never served a non-empty window" >&2
+    exit 1
+fi
+trace_code=$(curl -s -o "$tmp/traces.json" -w '%{http_code}' "http://$dash_addr/debug/traces" || true)
+if [ "$trace_code" != 200 ] || ! grep -q '"domain"' "$tmp/traces.json"; then
+    echo "/debug/traces did not serve traces (status $trace_code)" >&2
+    exit 1
+fi
+kill "$dash_pid" 2>/dev/null || true
+wait "$dash_pid" 2>/dev/null || true
+
 echo "OK"
