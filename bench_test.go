@@ -24,6 +24,7 @@ import (
 	"quicspin/internal/analysis"
 	"quicspin/internal/core"
 	"quicspin/internal/scanner"
+	"quicspin/internal/shard"
 	"quicspin/internal/websim"
 )
 
@@ -269,6 +270,42 @@ func BenchmarkCampaign(b *testing.B) {
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				mustRun(w, scanner.Config{Week: 12, Engine: eng.e, Seed: 99, Workers: 4})
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(w.Domains))/elapsed, "domains/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignSharded measures the distributed coordinator's cost:
+// the same one-week fast-engine campaign at 1 and 8 shards. On a machine
+// with spare cores, domains/sec scales near-linearly up to
+// min(shards, GOMAXPROCS); on a single core the 8-shard run must still
+// stay within a constant factor of unsharded throughput (the coordinator,
+// per-shard journals and merge are overhead, not work amplification).
+// scripts/bench.sh gates both properties self-relatively, calibrated to
+// the host's core count.
+func BenchmarkCampaignSharded(b *testing.B) {
+	prof := websim.DefaultProfile()
+	prof.Scale = benchScale()
+	w := websim.Generate(prof)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				_, err := shard.Run(w, shard.Config{
+					Shards: shards,
+					Weeks:  []int{12},
+					ForWeek: func(week int) scanner.Config {
+						return scanner.Config{Engine: scanner.EngineFast, Seed: 99, Workers: 4}
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			elapsed := time.Since(start).Seconds()
 			if elapsed > 0 {

@@ -8,6 +8,7 @@
 //
 //	spinscan -scale 2000 -week 12 -summary
 //	spinscan -scale 2000 -weeks 12 -engine fast -qlog-dir ./qlogs
+//	spinscan -scale 2000 -weeks 4 -shards 8 -vantages "local,far:30+5"
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,6 +32,7 @@ import (
 	"quicspin/internal/report"
 	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
+	"quicspin/internal/shard"
 	"quicspin/internal/telemetry"
 	"quicspin/internal/trace"
 	"quicspin/internal/websim"
@@ -62,6 +66,9 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write flight-recorder dumps (panic/stall/budget postmortems) to this directory; implies -trace")
 	flightDepth := flag.Int("flight-recorder", 0, "per-worker flight-recorder ring depth (0 = 64 default)")
 	alertSpec := flag.String("alerts", "", `threshold alerts evaluated each progress tick, e.g. "error-rate<=0.05,domains-per-sec>=100,spin-share>=0.01"`)
+	shards := flag.Int("shards", 0, "split the population into this many concurrently scanned shards (0 = unsharded)")
+	vantagesSpec := flag.String("vantages", "", `scan from multiple vantage points, e.g. "local,far:30+5" (name[:extra_delay_ms[+jitter_ms]], comma-separated)`)
+	shardTransport := flag.String("shard-transport", "inproc", "shard accumulator merge path: inproc, serialized or udp")
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -71,6 +78,9 @@ func main() {
 	}
 	if *hostileFrac < 0 || *hostileFrac > 1 {
 		log.Fatalf("-hostile-frac must be in [0, 1] (got %g)", *hostileFrac)
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards must be >= 0 (got %d)", *shards)
 	}
 
 	eng := scanner.EngineEmulated
@@ -193,10 +203,73 @@ func main() {
 	streamSummary := *stream && *qlogDir == ""
 	var analyzed []*analysis.Week
 	var camp *analysis.CampaignAccumulator
-	if streamSummary {
+	var shardRes *shard.Result
+	if *shards > 0 || *vantagesSpec != "" {
+		// Distributed scan-out: the coordinator splits the population into
+		// contiguous shards (each with its own journal, breakers and
+		// telemetry labels), optionally repeats the campaign from several
+		// vantage points, and merges the shard accumulators back into one
+		// campaign with byte-identical tables.
+		if !streamSummary {
+			log.Fatalf("-shards/-vantages require the streaming pipeline (-stream and no -qlog-dir)")
+		}
+		tr, err := shard.ParseTransport(*shardTransport)
+		if err != nil {
+			log.Fatalf("-shard-transport: %v", err)
+		}
+		vantages, err := parseVantages(*vantagesSpec)
+		if err != nil {
+			log.Fatalf("-vantages: %v", err)
+		}
+		nshards := *shards
+		if nshards == 0 {
+			nshards = 1
+		}
+		weeksList := make([]int, 0, last-first+1)
+		for wk := first; wk <= last; wk++ {
+			weeksList = append(weeksList, wk)
+		}
+		nv := len(vantages)
+		if nv == 0 {
+			nv = 1
+		}
+		log.Printf("scanning weeks %d-%d across %d shards, %d vantage(s), %s transport...",
+			first, last, nshards, nv, tr)
+		shardRes, err = shard.Run(world, shard.Config{
+			Shards:   nshards,
+			Weeks:    weeksList,
+			Vantages: vantages,
+			ForWeek: func(week int) scanner.Config {
+				cfg := baseCfg
+				cfg.Seed = prof.Seed + int64(week)
+				// The coordinator owns the journal layout: every
+				// (vantage, shard) pair gets its own subdirectory.
+				cfg.Checkpoint, cfg.Resume = "", false
+				return cfg
+			},
+			Checkpoint: *checkpoint,
+			Resume:     *resume,
+			Transport:  tr,
+			Telemetry:  reg,
+			Live:       live,
+		})
+		if errors.Is(err, scanner.ErrInterrupted) {
+			if *checkpoint != "" {
+				log.Printf("campaign interrupted; resume with: spinscan -checkpoint %s -resume (plus the original flags)", *checkpoint)
+			} else {
+				log.Printf("campaign interrupted (no -checkpoint journal; a rerun starts from scratch)")
+			}
+			os.Exit(130)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		camp = shardRes.Vantages[0].Campaign
+	}
+	if streamSummary && camp == nil {
 		camp = analysis.NewCampaignAccumulator()
 	}
-	for wk := first; wk <= last; wk++ {
+	for wk := first; shardRes == nil && wk <= last; wk++ {
 		log.Printf("scanning week %d (%s, ipv6=%v)...", wk, *engine, *ipv6)
 		cfg := baseCfg
 		cfg.Week = wk
@@ -250,6 +323,9 @@ func main() {
 		if len(wks) > 1 {
 			tables = append(tables, analysis.RenderLongitudinal(camp.Longitudinal()))
 		}
+		if shardRes != nil && len(shardRes.Vantages) > 1 {
+			tables = append(tables, shard.RenderAgreement(shardRes))
+		}
 		accuracy = camp.RenderAccuracy(4)
 	} else {
 		wk := analyzed[len(analyzed)-1]
@@ -275,6 +351,45 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(accuracy)
+}
+
+// parseVantages parses the -vantages flag: comma-separated vantage specs of
+// the form name[:extra_delay_ms[+jitter_ms]]. The extra delay is one-way
+// (it shows up twice in the RTT); an empty spec means no multi-vantage
+// campaign.
+func parseVantages(spec string) ([]scanner.Vantage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []scanner.Vantage
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty vantage spec in %q", spec)
+		}
+		v := scanner.Vantage{Name: item}
+		if name, params, ok := strings.Cut(item, ":"); ok {
+			if name == "" {
+				return nil, fmt.Errorf("vantage %q has no name", item)
+			}
+			v.Name = name
+			delayStr, jitterStr, hasJitter := strings.Cut(params, "+")
+			delayMs, err := strconv.ParseFloat(delayStr, 64)
+			if err != nil || delayMs < 0 {
+				return nil, fmt.Errorf("vantage %q: bad delay %q", item, delayStr)
+			}
+			v.ExtraDelay = time.Duration(delayMs * float64(time.Millisecond))
+			if hasJitter {
+				jitterMs, err := strconv.ParseFloat(jitterStr, 64)
+				if err != nil || jitterMs < 0 {
+					return nil, fmt.Errorf("vantage %q: bad jitter %q", item, jitterStr)
+				}
+				v.ExtraJitter = time.Duration(jitterMs * float64(time.Millisecond))
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // runConformance cross-validates the two engines over the generated world

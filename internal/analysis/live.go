@@ -62,9 +62,10 @@ func (w *WindowStats) fold(d *scanner.DomainResult, cls Class) {
 // path needs no dashboard branches.
 type Live struct {
 	mu      sync.Mutex
-	size    int // domains per window
-	keep    int // closed windows retained
-	acc     *Accumulator
+	size    int                  // domains per window
+	keep    int                  // closed windows retained
+	accs    map[int]*Accumulator // latest week accumulator per shard
+	vantage string
 	totals  WindowStats
 	cur     WindowStats
 	windows []WindowStats // closed, oldest first, ≤ keep
@@ -89,11 +90,25 @@ func NewLive(windowSize, keep int) *Live {
 // from the latest week while windows continue across weeks. Nil-safe: a
 // nil Live returns acc's own sink.
 func (l *Live) Sink(acc *Accumulator) func(i int, d *scanner.DomainResult) error {
+	return l.ShardSink(0, acc)
+}
+
+// ShardSink is Sink for one shard of a distributed campaign: deliveries
+// fold into that shard's accumulator and the shared rolling windows. The
+// dashboard retains the latest accumulator per shard and renders tables
+// from a merged snapshot, so /debug/campaign shows campaign-wide Tables
+// 1–5 while shards scan concurrently. All shard sinks serialise on one
+// mutex — the dashboard is a coordinator-side view, not a hot path.
+// Nil-safe: a nil Live returns acc's own sink.
+func (l *Live) ShardSink(shard int, acc *Accumulator) func(i int, d *scanner.DomainResult) error {
 	if l == nil {
 		return acc.Sink()
 	}
 	l.mu.Lock()
-	l.acc = acc
+	if l.accs == nil {
+		l.accs = map[int]*Accumulator{}
+	}
+	l.accs[shard] = acc
 	l.cur.Week = acc.Week
 	l.mu.Unlock()
 	return func(_ int, d *scanner.DomainResult) error {
@@ -107,6 +122,17 @@ func (l *Live) Sink(acc *Accumulator) func(i int, d *scanner.DomainResult) error
 		}
 		return nil
 	}
+}
+
+// SetVantage labels the dashboard with the vantage point currently
+// scanning (shown in /debug/campaign). Nil-safe.
+func (l *Live) SetVantage(name string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.vantage = name
+	l.mu.Unlock()
 }
 
 // roll closes the current window. Caller holds l.mu.
@@ -124,6 +150,11 @@ type LiveSnapshot struct {
 	Week       int         `json:"week"`
 	WindowSize int         `json:"window_size"`
 	Totals     WindowStats `json:"totals"`
+	// Shards is the number of shard accumulators feeding the dashboard
+	// (1 for an unsharded campaign); Vantage labels the scanning location
+	// when the campaign set one.
+	Shards  int    `json:"shards"`
+	Vantage string `json:"vantage,omitempty"`
 	// Windows holds the retained closed windows followed by the current
 	// open one (so the document is non-empty from the first domain).
 	Windows []WindowStats `json:"windows"`
@@ -132,27 +163,55 @@ type LiveSnapshot struct {
 }
 
 // Snapshot captures the dashboard state, rendering Tables 1–5 from the
-// current week's accumulator. Nil-safe (returns a zero snapshot).
+// current week's accumulators — merged across shards when the campaign is
+// sharded. Shards progress independently, so the snapshot merges the
+// shards that have reached the newest (Week, IPv6); clones are taken via
+// the wire-format round-trip under the same mutex every Add holds, so the
+// scan never observes the merge. Nil-safe (returns a zero snapshot).
 func (l *Live) Snapshot() LiveSnapshot {
 	if l == nil {
 		return LiveSnapshot{}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	snap := LiveSnapshot{WindowSize: l.size, Totals: l.totals}
+	snap := LiveSnapshot{WindowSize: l.size, Totals: l.totals, Vantage: l.vantage, Shards: len(l.accs)}
 	snap.Windows = append(snap.Windows, l.windows...)
 	snap.Windows = append(snap.Windows, l.cur)
-	if l.acc != nil {
-		snap.Week = l.acc.Week
+	if acc := l.mergedLocked(); acc != nil {
+		snap.Week = acc.Week
 		for _, t := range []*report.Table{
-			l.acc.RenderOverview(), l.acc.RenderOrgTable(8),
-			l.acc.RenderSpinConfig(), l.acc.RenderSoftwareTable(),
-			l.acc.RenderErrorClasses(),
+			acc.RenderOverview(), acc.RenderOrgTable(8),
+			acc.RenderSpinConfig(), acc.RenderSoftwareTable(),
+			acc.RenderErrorClasses(),
 		} {
 			snap.Tables = append(snap.Tables, t.String())
 		}
 	}
 	return snap
+}
+
+// mergedLocked merges the shard accumulators that have reached the newest
+// started (Week, IPv6) into a fresh clone. Caller holds l.mu. With one
+// shard it still clones — renderers then never race with concurrent Adds.
+func (l *Live) mergedLocked() *Accumulator {
+	var lead *Accumulator
+	for _, a := range l.accs {
+		if lead == nil || a.Week > lead.Week || (a.Week == lead.Week && a.IPv6 && !lead.IPv6) {
+			lead = a
+		}
+	}
+	if lead == nil {
+		return nil
+	}
+	merged := lead.clone()
+	for _, a := range l.accs {
+		if a != lead && a.Week == lead.Week && a.IPv6 == lead.IPv6 {
+			// Merge clones: Merge consumes its argument's maps, and the
+			// shard accumulator must keep folding.
+			_ = merged.Merge(a.clone())
+		}
+	}
+	return merged
 }
 
 // Totals returns the campaign-wide counts folded so far. Nil-safe.
@@ -169,7 +228,14 @@ func (l *Live) Totals() WindowStats {
 // rolling-window table, then the cumulative tables.
 func renderText(s *LiveSnapshot) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Campaign dashboard — week %d\n", s.Week)
+	fmt.Fprintf(&b, "Campaign dashboard — week %d", s.Week)
+	if s.Shards > 1 {
+		fmt.Fprintf(&b, " · %d shards", s.Shards)
+	}
+	if s.Vantage != "" {
+		fmt.Fprintf(&b, " · vantage %s", s.Vantage)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "Totals: domains=%s resolved=%s quic=%s spin=%s conns=%s conn_errs=%s\n\n",
 		report.Count(s.Totals.Domains), report.Count(s.Totals.Resolved),
 		report.Count(s.Totals.QUIC), report.Count(s.Totals.Spin),

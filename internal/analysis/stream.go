@@ -122,6 +122,26 @@ func (a *Accumulator) RenderErrorClasses() *report.Table {
 	return renderErrorTable(a.Week, a.errs)
 }
 
+// OverviewRows returns the finished Table 1/4 rows (one per view), for
+// consumers that need the counts rather than the rendered table (the
+// cross-vantage agreement table in internal/shard).
+func (a *Accumulator) OverviewRows() []OverviewRow {
+	rows := make([]OverviewRow, 0, len(a.overview))
+	for _, f := range a.overview {
+		rows = append(rows, f.finish())
+	}
+	return rows
+}
+
+// ConfigRows returns the Table 3 classification rows (one per view).
+func (a *Accumulator) ConfigRows() []ConfigRow {
+	rows := make([]ConfigRow, 0, len(a.config))
+	for _, f := range a.config {
+		rows = append(rows, f.row)
+	}
+	return rows
+}
+
 // RenderAccuracy renders the week's Fig. 3 or Fig. 4 panels.
 func (a *Accumulator) RenderAccuracy(fig int) string {
 	return renderAccuracyFrom(fig, func(i int) *stats.Histogram {
@@ -148,18 +168,26 @@ func NewCampaignAccumulator() *CampaignAccumulator {
 	return &CampaignAccumulator{long: newLongFold()}
 }
 
-// StartWeek creates the accumulator for one week's scan, wired into the
-// campaign's longitudinal fold. Call it once per week, feed it the week's
-// results, then move on — weekly aggregate state stays available for
-// rendering but no per-domain data is retained.
+// StartWeek returns the accumulator for one week's scan, wired into the
+// campaign's longitudinal fold. Weeks are indexed by (week, ipv6), not by
+// call order: starting weeks 3, 1, 2 yields the same campaign as 1, 2, 3,
+// and starting an already-started week returns its existing accumulator
+// (further Adds continue the same week's fold). This is what lets shard
+// workers scan week subsets in any order and still merge into an aligned
+// longitudinal table. Weekly aggregate state stays available for rendering
+// but no per-domain data is retained.
 func (c *CampaignAccumulator) StartWeek(week int, ipv6 bool, res *asdb.Resolver) *Accumulator {
+	if a := c.findWeek(week, ipv6); a != nil {
+		return a
+	}
 	a := NewAccumulator(week, ipv6, res)
 	a.long = c.long
-	c.weeks = append(c.weeks, a)
+	c.insertWeek(a)
 	return a
 }
 
-// Weeks returns the per-week accumulators in StartWeek order.
+// Weeks returns the per-week accumulators in (Week, IPv6) order,
+// independent of the order they were started in.
 func (c *CampaignAccumulator) Weeks() []*Accumulator { return c.weeks }
 
 // Longitudinal computes the Fig. 2 dataset over all started weeks.

@@ -32,6 +32,34 @@ type PathConfig struct {
 	DuplicateRate float64
 }
 
+// Stack composes an overlay segment onto the path, as when traffic
+// traverses a vantage point's access link before the server's own shaped
+// path: delays, jitters and reorder extras add, while loss, reorder and
+// duplicate probabilities combine as independent per-segment events
+// (1 − (1−a)(1−b)).
+func (c PathConfig) Stack(o PathConfig) PathConfig {
+	c.Delay += o.Delay
+	c.Jitter += o.Jitter
+	c.ReorderExtra += o.ReorderExtra
+	c.LossRate = combineProb(c.LossRate, o.LossRate)
+	c.ReorderRate = combineProb(c.ReorderRate, o.ReorderRate)
+	c.DuplicateRate = combineProb(c.DuplicateRate, o.DuplicateRate)
+	return c
+}
+
+// combineProb is the probability that at least one of two independent
+// events fires, clamped against floating-point drift.
+func combineProb(a, b float64) float64 {
+	p := 1 - (1-a)*(1-b)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
 func (c PathConfig) reorderExtra() time.Duration {
 	if c.ReorderExtra != 0 {
 		return c.ReorderExtra

@@ -136,6 +136,11 @@ func (e *emulatedEngine) connect(target string, ip netip.Addr, hop int, path str
 	e.net.BeginAttempt(serverAddr) // injected-outage accounting (tests)
 	if srv != nil {
 		path := e.world.PathConfig(srv)
+		if v := e.cfg.Vantage; v.ExtraDelay != 0 || v.ExtraJitter != 0 {
+			// The vantage point's extra path sits between the probe and
+			// every server, so it stacks onto the server's own shaping.
+			path = path.Stack(netem.PathConfig{Delay: v.ExtraDelay, Jitter: v.ExtraJitter})
+		}
 		e.net.SetSymmetricPath(clientAddr, serverAddr, path)
 	}
 	// Wire-level misbehavior: a fresh per-connection mangler on the

@@ -237,12 +237,16 @@ func (e *fastEngine) hostileOutcome(out ConnResult, srv *websim.Server) ConnResu
 }
 
 func (e *fastEngine) pathRTT(srv *websim.Server) time.Duration {
-	// Base RTT plus symmetric jitter as netem would apply.
-	j := time.Duration(e.world.Profile.PathJitterMs * float64(time.Millisecond))
+	// Base RTT plus symmetric jitter as netem would apply; the vantage
+	// point's extra one-way delay and jitter enter the closed form exactly
+	// as the emulated engine's stacked netem path applies them (once per
+	// direction).
+	base := srv.BaseRTT + 2*e.cfg.Vantage.ExtraDelay
+	j := time.Duration(e.world.Profile.PathJitterMs*float64(time.Millisecond)) + e.cfg.Vantage.ExtraJitter
 	if j <= 0 {
-		return srv.BaseRTT
+		return base
 	}
-	return srv.BaseRTT + time.Duration(e.rng.Int63n(int64(2*j)))
+	return base + time.Duration(e.rng.Int63n(int64(2*j)))
 }
 
 // synthesizeObservations emulates the received 1-RTT packet series of the

@@ -123,6 +123,22 @@ type Config struct {
 	// (name, type) times out on attempts 0..k-1 where k = DNSSchedule(name,
 	// type). Must be a pure function of its arguments.
 	DNSSchedule func(name string, t dns.RType) int
+	// Shard restricts the run to the contiguous population index range
+	// [Shard.Start, Shard.End). The zero value scans the whole population.
+	// Sink indices stay population-global, and per-domain randomness is
+	// derived from (Seed, Week, domain), so concatenating shard runs is
+	// byte-identical to one unsharded run — internal/shard builds its
+	// coordinator on exactly this. Only RunStream supports sharding; Run
+	// and RunBatch reject it (their materialised Result is indexed by the
+	// full population).
+	Shard ShardRange
+	// Vantage shifts every network path by a vantage point's extra one-way
+	// delay and jitter, emulating scans from distinct locations (the
+	// multi-vantage methodology of "A First Look at QUIC in the Wild").
+	// Both engines apply it identically: the emulated engine stacks it onto
+	// the netem path, the fast engine widens its closed-form RTT model. The
+	// zero value scans from the baseline vantage.
+	Vantage Vantage
 	// NetFailFirst injects transient connection failures for tests: the
 	// first k attempts against an address (keyed by its string form) lose
 	// every packet, then the host recovers. Attempt counters live per
@@ -167,7 +183,38 @@ func (c Config) Validate() error {
 	if c.Resume && c.Checkpoint == "" {
 		return fmt.Errorf("scanner: Resume requires a Checkpoint directory")
 	}
+	if c.Shard.Start < 0 || c.Shard.End < 0 {
+		return fmt.Errorf("scanner: Shard bounds must be >= 0, got [%d, %d)", c.Shard.Start, c.Shard.End)
+	}
+	if c.Shard.enabled() && c.Shard.End < c.Shard.Start {
+		return fmt.Errorf("scanner: Shard range is inverted: [%d, %d)", c.Shard.Start, c.Shard.End)
+	}
+	if c.Vantage.ExtraDelay < 0 || c.Vantage.ExtraJitter < 0 {
+		return fmt.Errorf("scanner: Vantage delay and jitter must be >= 0, got %v/%v", c.Vantage.ExtraDelay, c.Vantage.ExtraJitter)
+	}
 	return nil
+}
+
+// ShardRange selects a contiguous slice [Start, End) of the canonical
+// population order for Config.Shard. The zero value means everything.
+type ShardRange struct {
+	Start int
+	End   int
+}
+
+func (r ShardRange) enabled() bool { return r != ShardRange{} }
+
+// Vantage describes one scanning location for Config.Vantage: extra
+// one-way path delay plus extra uniform one-way jitter relative to the
+// baseline (the world's built-in path shaping), applied symmetrically to
+// both directions of every connection.
+type Vantage struct {
+	// Name labels the vantage in telemetry and reports.
+	Name string
+	// ExtraDelay is added to each direction's propagation delay.
+	ExtraDelay time.Duration
+	// ExtraJitter widens each direction's uniform jitter window.
+	ExtraJitter time.Duration
 }
 
 func (c Config) timeout() time.Duration {
@@ -300,6 +347,9 @@ type Result struct {
 // unreadable or unwritable checkpoint directory, and — wrapped around the
 // partial Result — ErrInterrupted when the campaign was stopped early.
 func Run(w *websim.World, cfg Config) (*Result, error) {
+	if cfg.Shard.enabled() {
+		return nil, fmt.Errorf("scanner: Config.Shard requires RunStream (Run materialises the full population)")
+	}
 	c, err := newCampaign(w, cfg)
 	if err != nil {
 		return nil, err
@@ -322,6 +372,9 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 // tests (and as a fallback via spinscan -stream=false); new callers
 // should use Run or RunStream.
 func RunBatch(w *websim.World, cfg Config) (*Result, error) {
+	if cfg.Shard.enabled() {
+		return nil, fmt.Errorf("scanner: Config.Shard requires RunStream (RunBatch materialises the full population)")
+	}
 	c, err := newCampaign(w, cfg)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,11 +65,16 @@ func newCampaign(w *websim.World, cfg Config) (*campaign, error) {
 		return nil, err
 	}
 	c := &campaign{w: w, cfg: cfg, tm: newScanTelemetry(cfg.Telemetry)}
+	if cfg.Shard.enabled() && cfg.Shard.End > w.NumDomains() {
+		return nil, fmt.Errorf("scanner: Shard range [%d, %d) exceeds the population of %d", cfg.Shard.Start, cfg.Shard.End, w.NumDomains())
+	}
 	c.tm.week.Set(int64(cfg.Week))
 	// The domain counter is cumulative across runs sharing a registry (a
-	// multi-week campaign), so the population denominator accumulates too:
-	// the progress ratio stays ≤ 1 for the campaign as a whole.
-	c.tm.population.Add(int64(w.NumDomains()))
+	// multi-week campaign, or several shards of one), so the population
+	// denominator accumulates the slice actually queued: the progress
+	// ratio stays ≤ 1 for the campaign as a whole.
+	start, end := c.bounds()
+	c.tm.population.Add(int64(end - start))
 
 	journal, replayed, err := openCheckpoint(cfg)
 	if err != nil {
@@ -93,6 +99,15 @@ func newCampaign(w *websim.World, cfg Config) (*campaign, error) {
 		runtime.ReadMemStats(&c.memStart)
 	}
 	return c, nil
+}
+
+// bounds returns the population index range this run covers: the shard
+// slice when Config.Shard is set, the whole population otherwise.
+func (c *campaign) bounds() (start, end int) {
+	if c.cfg.Shard.enabled() {
+		return c.cfg.Shard.Start, c.cfg.Shard.End
+	}
+	return 0, c.w.NumDomains()
 }
 
 // interrupt stops the campaign: workers finish their current domain, the
@@ -245,9 +260,9 @@ func (c *campaign) worker(shard int, work <-chan domainBatch, results chan<- res
 // stays bounded by workers + channel capacities, independent of the
 // population size.
 func (c *campaign) runPipeline(deliver func(rb *resultBatch)) {
-	n := c.w.NumDomains()
+	lo, n := c.bounds()
 	nw := c.cfg.workers()
-	if nw > n {
+	if nw > n-lo {
 		nw = 1
 	}
 	work := make(chan domainBatch, nw)
@@ -258,7 +273,7 @@ func (c *campaign) runPipeline(deliver func(rb *resultBatch)) {
 	}
 	go func() {
 		defer close(work)
-		for start := 0; start < n && !c.interrupted.Load(); start += streamBatchSize {
+		for start := lo; start < n && !c.interrupted.Load(); start += streamBatchSize {
 			end := min(start+streamBatchSize, n)
 			b := domainBatch{start: start, domains: make([]*websim.Domain, 0, end-start)}
 			if gateNext != nil {
@@ -334,7 +349,7 @@ func RunStream(w *websim.World, cfg Config, sink func(i int, res *DomainResult) 
 	}
 	defer c.close()
 	pending := map[int]resultBatch{}
-	next := 0 // start index of the next batch to deliver
+	next, _ := c.bounds() // start index of the next batch to deliver
 	stopped := false
 	var sinkErr error
 	c.runPipeline(func(rb *resultBatch) {

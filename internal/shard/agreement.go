@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"quicspin/internal/analysis"
+	"quicspin/internal/report"
+	"quicspin/internal/stats"
+)
+
+// RenderAgreement renders the cross-vantage agreement table: per vantage,
+// the campaign-wide spin-configuration outcome (CZDS view, summed over
+// weeks) and how closely its verdict distribution matches the first
+// vantage's. Agreement is 1 minus the total-variation distance between the
+// two distributions over {All Zero, All One, Spin, Grease, None} — 100%
+// means the vantages classified identically in aggregate; extra path delay
+// and jitter should dent it only marginally (the spin bit survives the
+// path, which is its whole point).
+func RenderAgreement(res *Result) *report.Table {
+	t := report.NewTable(
+		"Cross-vantage agreement (CZDS view, all weeks)",
+		"Vantage", "Extra RTT", "QUIC", "Spin", "Spin%", "Agreement")
+	if len(res.Vantages) == 0 {
+		return t
+	}
+	base := vantageDist(res.Vantages[0].Campaign)
+	for vi, vr := range res.Vantages {
+		row := vantageDist(vr.Campaign)
+		extra := time.Duration(0)
+		if vr.Vantage.ExtraDelay > 0 {
+			extra = 2 * vr.Vantage.ExtraDelay
+		}
+		t.AddRow(
+			vantageLabel(vr.Vantage, vi),
+			extra.String(),
+			report.Count(row.QUICDomains),
+			report.Count(row.Spin),
+			stats.Percent(row.Spin, row.QUICDomains),
+			fmt.Sprintf("%.1f%%", 100*agreement(base, row)),
+		)
+	}
+	return t
+}
+
+// vantageDist sums the CZDS-view Table 3 row over every campaign week.
+func vantageDist(camp *analysis.CampaignAccumulator) analysis.ConfigRow {
+	var sum analysis.ConfigRow
+	if camp == nil {
+		return sum
+	}
+	for _, a := range camp.Weeks() {
+		rows := a.ConfigRows()
+		if len(rows) < 2 {
+			continue
+		}
+		r := rows[1] // CZDS view, matching the software table's convention
+		sum.QUICDomains += r.QUICDomains
+		sum.AllZero += r.AllZero
+		sum.AllOne += r.AllOne
+		sum.Spin += r.Spin
+		sum.Grease += r.Grease
+		sum.None += r.None
+	}
+	return sum
+}
+
+// agreement computes 1 − total-variation distance between two verdict
+// distributions (1.0 when either is empty ties to "no evidence of
+// disagreement" — the table's QUIC column makes emptiness obvious).
+func agreement(a, b analysis.ConfigRow) float64 {
+	if a.QUICDomains == 0 || b.QUICDomains == 0 {
+		return 1
+	}
+	pa := func(n int) float64 { return float64(n) / float64(a.QUICDomains) }
+	pb := func(n int) float64 { return float64(n) / float64(b.QUICDomains) }
+	tv := 0.0
+	for _, d := range []float64{
+		pa(a.AllZero) - pb(b.AllZero),
+		pa(a.AllOne) - pb(b.AllOne),
+		pa(a.Spin) - pb(b.Spin),
+		pa(a.Grease) - pb(b.Grease),
+		pa(a.None) - pb(b.None),
+	} {
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	return 1 - tv/2
+}

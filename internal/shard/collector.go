@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"quicspin/internal/transport"
+	"quicspin/internal/udprun"
+)
+
+// The accumulator exchange: each shard worker opens one QUIC-lite
+// connection to the collector endpoint and sends its submission on the
+// first client stream — a uvarint shard index followed by the serialized
+// campaign (the analysis wire format, self-delimiting and versioned) —
+// closed with FIN. The collector replies with a single ack byte on the
+// same stream, the worker closes the connection, done. Both sides run the
+// exact sans-IO transport the scanner emulates, driven over real UDP
+// sockets by internal/udprun, so a future multi-process deployment changes
+// where workers run, not what bytes they exchange.
+const (
+	// submitStream is the client-initiated stream carrying the submission.
+	submitStream = 0
+	// submitAck is the collector's receipt byte.
+	submitAck = 0xA5
+)
+
+// Collector receives serialized shard accumulators over loopback UDP.
+type Collector struct {
+	pc     net.PacketConn
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// handled marks connections whose submission was consumed; only the
+	// runner goroutine touches it.
+	handled map[*transport.Conn]bool
+
+	mu    sync.Mutex
+	want  int
+	blobs map[int][]byte
+	full  chan struct{} // closed when every shard has submitted
+}
+
+// NewCollector starts a collector expecting one submission per shard on a
+// fresh loopback socket (Addr reports where).
+func NewCollector(want int) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("shard: collector listen: %w", err)
+	}
+	c := &Collector{
+		pc:      pc,
+		done:    make(chan struct{}),
+		handled: map[*transport.Conn]bool{},
+		want:    want,
+		blobs:   map[int][]byte{},
+		full:    make(chan struct{}),
+	}
+	if want == 0 {
+		close(c.full)
+	}
+	// One rng for every accepted connection's transport randomness: the
+	// runner drives all connections from a single goroutine. The zero
+	// Budget is deliberate — submissions are trusted loopback traffic and
+	// may exceed the scanner's hostile-endpoint caps.
+	rng := rand.New(rand.NewSource(0x5eedc011))
+	ep := transport.NewEndpoint(func(peer string) transport.Config {
+		return transport.Config{Rng: rng}
+	})
+	runner := udprun.NewEndpointRunner(ep, pc)
+	runner.OnActivity = c.onActivity
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	go func() {
+		defer close(c.done)
+		_ = runner.Run(ctx)
+	}()
+	return c, nil
+}
+
+// Addr is the collector's UDP address (pass to Submit).
+func (c *Collector) Addr() net.Addr { return c.pc.LocalAddr() }
+
+// Close stops the collector and releases its socket.
+func (c *Collector) Close() {
+	c.cancel()
+	c.pc.Close()
+	<-c.done
+}
+
+// onActivity consumes completed submission streams and acks them. It runs
+// on the endpoint runner's goroutine after every receive or timer event.
+func (c *Collector) onActivity(ep *transport.Endpoint, now time.Time) {
+	for _, conn := range ep.Conns() {
+		if c.handled[conn] || conn.Terminating() {
+			continue
+		}
+		data, fin := conn.StreamRecv(submitStream)
+		if !fin {
+			continue
+		}
+		c.handled[conn] = true
+		if shard, blob, err := parseSubmission(data, c.want); err == nil {
+			c.record(shard, blob)
+		}
+		// Ack regardless: a malformed submission is a coordinator bug that
+		// Wait will surface as a missing shard; the worker need not hang.
+		_ = conn.SendStream(submitStream, []byte{submitAck}, true)
+	}
+}
+
+func (c *Collector) record(shard int, blob []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.blobs[shard]; dup {
+		return
+	}
+	c.blobs[shard] = blob
+	if len(c.blobs) == c.want {
+		close(c.full)
+	}
+}
+
+// parseSubmission splits a submission payload into shard index and
+// accumulator bytes.
+func parseSubmission(data []byte, want int) (int, []byte, error) {
+	shard, n := binary.Uvarint(data)
+	if n <= 0 || shard >= uint64(want) {
+		return 0, nil, fmt.Errorf("shard: bad submission header")
+	}
+	return int(shard), data[n:], nil
+}
+
+// Wait blocks until every shard has submitted (or the timeout elapses) and
+// returns the blobs keyed by shard index.
+func (c *Collector) Wait(timeout time.Duration) (map[int][]byte, error) {
+	select {
+	case <-c.full:
+	case <-time.After(timeout):
+		c.mu.Lock()
+		got := len(c.blobs)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("shard: collector timed out with %d of %d accumulators", got, c.want)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int][]byte, len(c.blobs))
+	for k, v := range c.blobs {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Submit ships one shard's serialized campaign to the collector and waits
+// for the ack.
+func (c *Collector) Submit(shard int, blob []byte) error {
+	return Submit(c.Addr().String(), shard, blob, collectTimeout)
+}
+
+// Submit connects to a collector at addr and delivers one shard's
+// serialized campaign over a QUIC-lite connection on a fresh loopback
+// socket, returning once the collector acked receipt.
+func Submit(addr string, shard int, blob []byte, timeout time.Duration) error {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: submit shard %d: %w", shard, err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("shard: submit shard %d: %w", shard, err)
+	}
+	defer pc.Close()
+	rng := rand.New(rand.NewSource(0x5eed + int64(shard)))
+	conn := transport.NewClientConn(transport.Config{Rng: rng}, time.Now())
+	payload := binary.AppendUvarint(make([]byte, 0, len(blob)+binary.MaxVarintLen64), uint64(shard))
+	payload = append(payload, blob...)
+	if err := conn.SendStream(submitStream, payload, true); err != nil {
+		return fmt.Errorf("shard: submit shard %d: %w", shard, err)
+	}
+	runner := udprun.NewConnRunner(conn, pc, raddr)
+	acked := false
+	runner.OnActivity = func(conn *transport.Conn, now time.Time) {
+		if acked {
+			return
+		}
+		if _, fin := conn.StreamRecv(submitStream); fin {
+			acked = true
+			conn.Close(now, 0, "submitted")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err = runner.Run(ctx)
+	if acked {
+		return nil
+	}
+	if err == nil {
+		err = fmt.Errorf("connection closed before ack")
+	}
+	return fmt.Errorf("shard: submit shard %d: %w", shard, err)
+}

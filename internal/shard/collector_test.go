@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorRoundTrip(t *testing.T) {
+	const want = 3
+	col, err := NewCollector(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	blobs := make([][]byte, want)
+	for i := range blobs {
+		blobs[i] = bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+	}
+	var wg sync.WaitGroup
+	for i := range blobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := col.Submit(i, blobs[i]); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := col.Wait(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("collector holds %d blobs, want %d", len(got), want)
+	}
+	for i := range blobs {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Errorf("shard %d blob mangled: %d bytes, want %d", i, len(got[i]), len(blobs[i]))
+		}
+	}
+}
+
+// TestCollectorDuplicate checks that a resubmitted shard is acked (the
+// worker must not hang) while the first blob wins.
+func TestCollectorDuplicate(t *testing.T) {
+	col, err := NewCollector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if err := col.Submit(0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Submit(0, []byte("second")); err != nil {
+		t.Fatalf("duplicate submission not acked: %v", err)
+	}
+	if err := col.Submit(1, []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Wait(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "first" {
+		t.Errorf("duplicate overwrote shard 0: %q", got[0])
+	}
+}
+
+// TestCollectorTimeout pins the missing-shard diagnostic: a malformed
+// submission is acked but never recorded, so Wait reports the shortfall.
+func TestCollectorTimeout(t *testing.T) {
+	col, err := NewCollector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if err := col.Submit(0, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Shard index 7 is out of range for want=2: acked, dropped.
+	if err := col.Submit(7, []byte("bad")); err != nil {
+		t.Fatalf("out-of-range submission not acked: %v", err)
+	}
+	_, err = col.Wait(200 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2") {
+		t.Errorf("Wait = %v, want timeout naming 1 of 2 accumulators", err)
+	}
+}
+
+func TestCollectorZeroShards(t *testing.T) {
+	col, err := NewCollector(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	got, err := col.Wait(time.Second)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Wait = %v, %v; want empty map", got, err)
+	}
+}
+
+func TestParseSubmission(t *testing.T) {
+	payload := append(binary.AppendUvarint(nil, 1), 'x', 'y')
+	shard, blob, err := parseSubmission(payload, 2)
+	if err != nil || shard != 1 || string(blob) != "xy" {
+		t.Errorf("parseSubmission = %d, %q, %v", shard, blob, err)
+	}
+	for _, bad := range [][]byte{
+		{},                           // no header
+		binary.AppendUvarint(nil, 5), // shard out of range for want=2
+		{0x80},                       // truncated varint
+	} {
+		if _, _, err := parseSubmission(bad, 2); err == nil {
+			t.Errorf("parseSubmission(%v) accepted", bad)
+		}
+	}
+}
+
+// TestSubmitNoCollector exercises the worker-side failure path: submitting
+// to a dead address must time out with a descriptive error, not hang.
+func TestSubmitNoCollector(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	pc.Close() // nothing listens here anymore
+	err = Submit(addr, 0, []byte("lost"), 300*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "submit shard 0") {
+		t.Errorf("Submit to dead address = %v, want shard-labelled error", err)
+	}
+	if err := Submit("not-an-address:port", 1, nil, time.Second); err == nil {
+		t.Error("Submit accepted an unresolvable address")
+	}
+}

@@ -1,0 +1,356 @@
+// Package shard implements the distributed scan-out coordinator: it splits
+// the domain population into contiguous shards, runs every shard through an
+// independent scanner.RunStream — its own checkpoint journal, breakers and
+// telemetry labels — and merges the shard accumulators back into one
+// campaign whose Tables 1–5 and Figs. 3–4 are byte-identical to an
+// unsharded run (determinism_test.go pins this, like worker-count
+// invariance before it).
+//
+// Shard workers run as goroutines in this process; the accumulators they
+// produce can flow back to the coordinator three ways (Config.Transport):
+// direct in-memory merge, a round-trip through the versioned wire format
+// (internal/analysis codec), or real UDP sockets via internal/udprun —
+// the exchange a multi-process deployment would use, proving the merged
+// bytes are process-agnostic.
+//
+// The coordinator also runs multi-vantage campaigns: each vantage point
+// scans the whole population through its own extra path delay/jitter
+// (scanner.Vantage), and RenderAgreement compares the per-vantage spin
+// verdict distributions.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"quicspin/internal/analysis"
+	"quicspin/internal/scanner"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/websim"
+)
+
+// Range is one contiguous slice of the canonical population order,
+// [Start, End).
+type Range struct {
+	Start int
+	End   int
+}
+
+// Plan splits a population of n domains into the given number of
+// contiguous shards, as evenly as possible (the first n%shards shards get
+// one extra domain). Shards beyond the population come out empty; the
+// shard count never bends to the population, so a fixed -shards flag means
+// a fixed journal layout.
+func Plan(n, shards int) []Range {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([]Range, shards)
+	base, extra := n/shards, n%shards
+	start := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Start: start, End: start + size}
+		start += size
+	}
+	return out
+}
+
+// Transport selects how shard accumulators travel back to the coordinator.
+type Transport int
+
+const (
+	// TransportInProc merges the shard goroutines' accumulators directly.
+	TransportInProc Transport = iota
+	// TransportSerialized round-trips every shard accumulator through the
+	// versioned wire format before merging — what any cross-process
+	// deployment carries, without the sockets.
+	TransportSerialized
+	// TransportUDP ships serialized accumulators over real loopback UDP
+	// sockets (QUIC-lite streams driven by internal/udprun) to a collector
+	// endpoint, then merges the received bytes.
+	TransportUDP
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportInProc:
+		return "inproc"
+	case TransportSerialized:
+		return "serialized"
+	case TransportUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// ParseTransport parses the spinscan -shard-transport flag value.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "inproc":
+		return TransportInProc, nil
+	case "serialized":
+		return TransportSerialized, nil
+	case "udp":
+		return TransportUDP, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown transport %q (want inproc, serialized or udp)", s)
+	}
+}
+
+// Config parameterises one distributed campaign.
+type Config struct {
+	// Shards is the number of population slices scanned concurrently.
+	Shards int
+	// Weeks are the campaign weeks every shard scans, in order.
+	Weeks []int
+	// Vantages are the scanning locations; each runs a full sharded
+	// campaign of its own. Empty means one baseline vantage.
+	Vantages []scanner.Vantage
+	// ForWeek returns the scan configuration for one week (seed, engine,
+	// workers, retry/breaker policy, address family, interrupt channel…).
+	// The coordinator overrides Week, Shard, Vantage and — when Checkpoint
+	// is set — the per-shard checkpoint directory.
+	ForWeek func(week int) scanner.Config
+	// Checkpoint, when non-empty, is the campaign's journal root; every
+	// (vantage, shard) pair journals under its own subdirectory, so a
+	// killed campaign resumes shard by shard.
+	Checkpoint string
+	// Resume replays existing per-shard journals before scanning.
+	Resume bool
+	// Transport selects the accumulator merge path (see the constants).
+	Transport Transport
+	// Telemetry receives the shard/vantage gauges and per-shard progress
+	// counters in addition to the scanner's own campaign metrics.
+	Telemetry *telemetry.Registry
+	// Live, when non-nil, receives every shard's deliveries for the
+	// /debug/campaign dashboard (shard-merged tables, rolling windows).
+	Live *analysis.Live
+}
+
+// Validate reports descriptive errors for coordinator misconfiguration.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: Shards must be >= 1, got %d", c.Shards)
+	}
+	if len(c.Weeks) == 0 {
+		return fmt.Errorf("shard: at least one campaign week is required")
+	}
+	if c.ForWeek == nil {
+		return fmt.Errorf("shard: ForWeek must be set")
+	}
+	if c.Transport < TransportInProc || c.Transport > TransportUDP {
+		return fmt.Errorf("shard: unknown Transport %d", int(c.Transport))
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return fmt.Errorf("shard: Resume requires a Checkpoint directory")
+	}
+	return nil
+}
+
+// VantageResult is one vantage point's merged campaign.
+type VantageResult struct {
+	Vantage  scanner.Vantage
+	Campaign *analysis.CampaignAccumulator
+}
+
+// Result is the outcome of one distributed campaign.
+type Result struct {
+	// Shards echoes the shard count the population was split into.
+	Shards int
+	// Vantages holds one merged campaign per vantage point, in Config
+	// order.
+	Vantages []VantageResult
+}
+
+// Run executes the distributed campaign: for every vantage point, all
+// shards scan their population slice concurrently (each week through its
+// own RunStream), and the shard accumulators merge — over the configured
+// transport — into one campaign per vantage.
+//
+// On interruption (the scanner's Interrupt/InterruptAfter plumbing), Run
+// merges what the shards completed and returns the partial Result with
+// scanner.ErrInterrupted, mirroring RunStream's contract. Any other shard
+// error fails the campaign.
+func Run(w *websim.World, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	vantages := cfg.Vantages
+	if len(vantages) == 0 {
+		vantages = []scanner.Vantage{{}}
+	}
+	cfg.Telemetry.Gauge("shard_count").Set(int64(cfg.Shards))
+	cfg.Telemetry.Gauge("vantage_count").Set(int64(len(vantages)))
+	res := &Result{Shards: cfg.Shards}
+	for vi, v := range vantages {
+		cfg.Live.SetVantage(vantageLabel(v, vi))
+		camp, err := runVantage(w, cfg, v, vi)
+		if err != nil && !errors.Is(err, scanner.ErrInterrupted) {
+			return nil, err
+		}
+		res.Vantages = append(res.Vantages, VantageResult{Vantage: v, Campaign: camp})
+		if err != nil {
+			return res, scanner.ErrInterrupted
+		}
+	}
+	return res, nil
+}
+
+// collectTimeout bounds the coordinator's wait for UDP-submitted
+// accumulators. Every successful submit completes before the shard
+// goroutine exits, so by merge time the blobs are already in — the timeout
+// only catches collector socket failures.
+const collectTimeout = 30 * time.Second
+
+// runVantage scans the whole population from one vantage point across all
+// shards and merges their campaigns.
+func runVantage(w *websim.World, cfg Config, v scanner.Vantage, vi int) (*analysis.CampaignAccumulator, error) {
+	ranges := Plan(w.NumDomains(), cfg.Shards)
+	var col *Collector
+	if cfg.Transport == TransportUDP {
+		var err error
+		if col, err = NewCollector(len(ranges)); err != nil {
+			return nil, err
+		}
+		defer col.Close()
+	}
+	camps := make([]*analysis.CampaignAccumulator, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for si, r := range ranges {
+		wg.Add(1)
+		go func(si int, r Range) {
+			defer wg.Done()
+			camp, err := runShard(w, cfg, v, vi, si, r)
+			errs[si] = err
+			if col == nil {
+				camps[si] = camp
+				return
+			}
+			if err == nil || errors.Is(err, scanner.ErrInterrupted) {
+				// Interrupted shards still ship their partial campaign:
+				// the merged tables then cover exactly the completed
+				// prefix of every shard, like RunStream's partial sink.
+				if serr := col.Submit(si, camp.Marshal()); serr != nil && err == nil {
+					errs[si] = serr
+				}
+			}
+		}(si, r)
+	}
+	wg.Wait()
+	interrupted := false
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, scanner.ErrInterrupted):
+			interrupted = true
+		default:
+			return nil, err
+		}
+	}
+	merged, err := mergeShards(cfg, w, camps, col)
+	if err != nil {
+		return nil, err
+	}
+	if interrupted {
+		return merged, scanner.ErrInterrupted
+	}
+	return merged, nil
+}
+
+// runShard scans one population slice through every campaign week.
+func runShard(w *websim.World, cfg Config, v scanner.Vantage, vi, si int, r Range) (*analysis.CampaignAccumulator, error) {
+	camp := analysis.NewCampaignAccumulator()
+	progress := cfg.Telemetry.Counter(telemetry.Name("shard_domains_total", "shard", strconv.Itoa(si)))
+	for _, week := range cfg.Weeks {
+		sc := cfg.ForWeek(week)
+		sc.Week = week
+		sc.Shard = scanner.ShardRange{Start: r.Start, End: r.End}
+		sc.Vantage = v
+		if sc.Telemetry == nil {
+			sc.Telemetry = cfg.Telemetry
+		}
+		if cfg.Checkpoint != "" {
+			sc.Checkpoint = filepath.Join(cfg.Checkpoint, vantageDir(v, vi), fmt.Sprintf("shard-%03d", si))
+			sc.Resume = cfg.Resume
+		}
+		acc := camp.StartWeek(week, sc.IPv6, w.ASDB())
+		sink := cfg.Live.ShardSink(si, acc)
+		deliver := func(i int, d *scanner.DomainResult) error {
+			progress.Inc()
+			return sink(i, d)
+		}
+		if err := scanner.RunStream(w, sc, deliver); err != nil {
+			return camp, err
+		}
+	}
+	return camp, nil
+}
+
+// mergeShards combines the per-shard campaigns in shard order over the
+// configured transport. Merging is associative and commutative (the
+// analysis merge laws), so the order is a convention, not a correctness
+// requirement.
+func mergeShards(cfg Config, w *websim.World, camps []*analysis.CampaignAccumulator, col *Collector) (*analysis.CampaignAccumulator, error) {
+	if col != nil {
+		blobs, err := col.Wait(collectTimeout)
+		if err != nil {
+			return nil, err
+		}
+		camps = make([]*analysis.CampaignAccumulator, len(blobs))
+		for si, blob := range blobs {
+			if camps[si], err = analysis.UnmarshalCampaign(blob, w.ASDB()); err != nil {
+				return nil, fmt.Errorf("shard: decoding shard %d accumulator: %w", si, err)
+			}
+		}
+	} else if cfg.Transport == TransportSerialized {
+		for si, camp := range camps {
+			rt, err := analysis.UnmarshalCampaign(camp.Marshal(), w.ASDB())
+			if err != nil {
+				return nil, fmt.Errorf("shard: round-tripping shard %d accumulator: %w", si, err)
+			}
+			camps[si] = rt
+		}
+	}
+	merged := camps[0]
+	for _, camp := range camps[1:] {
+		if err := merged.Merge(camp); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// vantageLabel names a vantage for telemetry and reports.
+func vantageLabel(v scanner.Vantage, vi int) string {
+	if v.Name != "" {
+		return v.Name
+	}
+	if vi == 0 && v.ExtraDelay == 0 && v.ExtraJitter == 0 {
+		return "baseline"
+	}
+	return fmt.Sprintf("vantage-%d", vi)
+}
+
+// vantageDir is the vantage's checkpoint subdirectory: the label when it
+// is filesystem-safe, the index otherwise.
+func vantageDir(v scanner.Vantage, vi int) string {
+	label := vantageLabel(v, vi)
+	safe := strings.IndexFunc(label, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_')
+	}) < 0
+	if !safe {
+		label = fmt.Sprintf("vantage-%d", vi)
+	}
+	return label
+}

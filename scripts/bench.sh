@@ -75,16 +75,89 @@ parse_scale() {
     }' "$tmp/raw-$1.txt"
 }
 
+# Sharded scaling gate: BenchmarkCampaignSharded runs the same fast-engine
+# campaign at 1 and 8 shards. The gate is self-relative (no recorded
+# baseline) and calibrated to the host: perfect scaling is
+# min(shards, cores), and the 8-shard run must reach at least half of it —
+# on a single core that degenerates to "sharding costs at most 2×", i.e.
+# the coordinator/journal/merge overhead stays bounded. Allocations per op
+# may grow only by the fixed per-shard state (8 journals, 8 campaign
+# accumulators), gated at +30 %.
+run_sharded() { # $1 = scale
+    echo "== BenchmarkCampaignSharded at QUICSPIN_SCALE=$1" >&2
+    QUICSPIN_SCALE=$1 go test -run '^$' -bench '^BenchmarkCampaignSharded$' \
+        -benchmem -benchtime 1x -count 3 . >"$tmp/shard-$1.txt" 2>&1 || {
+        cat "$tmp/shard-$1.txt" >&2
+        exit 1
+    }
+    grep -E '^BenchmarkCampaignSharded/' "$tmp/shard-$1.txt" >&2 || true
+}
+
+check_sharded() { # $1 = scale
+    run_sharded "$1"
+    cores=$(nproc 2>/dev/null || echo 1)
+    # The allocation bound covers the fixed per-shard state (journals,
+    # campaign accumulators, merge buffers); on the tiny smoke population
+    # that fixed state is a larger share of the total, so it gets more
+    # headroom.
+    amax=1.30
+    if [ "$1" -ge 100000 ]; then
+        amax=1.40
+    fi
+    awk -v cores="$cores" -v amax="$amax" '
+    function keep(key, v, takeMax) {
+        if (!(key in m)) { m[key] = v; return }
+        if (takeMax) { if (v + 0 > m[key] + 0) m[key] = v }
+        else { if (v + 0 < m[key] + 0) m[key] = v }
+    }
+    # The sub-benchmark name ends in the shard count, and Go appends a
+    # -GOMAXPROCS suffix only on multi-core hosts — match the shard count
+    # explicitly instead of stripping trailing digits.
+    /^BenchmarkCampaignSharded\// {
+        split($1, parts, "/")
+        sh = (parts[2] ~ /^shards-1(-[0-9]+)?$/) ? "shards-1" : "shards-8"
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "domains/sec") keep(sh ",ds", $i, 1)
+            if ($(i + 1) == "allocs/op")   keep(sh ",allocs", $i, 1)
+        }
+    }
+    END {
+        ds1 = m["shards-1,ds"]; ds8 = m["shards-8,ds"]
+        a1 = m["shards-1,allocs"]; a8 = m["shards-8,allocs"]
+        if (ds1 == "" || ds8 == "" || a1 == "" || a8 == "") {
+            print "sharded benchmark produced no metrics" > "/dev/stderr"
+            exit 1
+        }
+        expected = cores < 8 ? cores : 8
+        floor = 0.5 * expected
+        eff = ds8 / ds1
+        printf "sharded scaling: %.2fx at 8 shards (%d cores, floor %.2fx); allocs/op %.0f -> %.0f (%.2fx)\n", \
+            eff, cores, floor, a1, a8, a8 / a1
+        if (eff < floor) {
+            printf "8-shard throughput %.2fx below floor %.2fx (expected ~min(shards, cores))\n", eff, floor > "/dev/stderr"
+            exit 1
+        }
+        if (a8 > a1 * amax) {
+            printf "8-shard allocs/op %.0f vs %.0f unsharded (> %.2fx)\n", a8, a1, amax > "/dev/stderr"
+            exit 1
+        }
+    }' "$tmp/shard-$1.txt"
+}
+
 if [ "$mode" = smoke ]; then
     # A tiny population proves the harness still runs end to end; no
     # comparison — regressions are gated by the full run.
     run_scale 100000
+    check_sharded 100000
     echo "bench smoke OK"
     exit 0
 fi
 
 run_scale 2000
 run_scale 20000
+if [ "$mode" = check ]; then
+    check_sharded 20000
+fi
 printf '{"scale_2000":%s,"scale_20000":%s}\n' \
     "$(parse_scale 2000)" "$(parse_scale 20000)" | jq . >"$tmp/fresh.json"
 

@@ -49,6 +49,7 @@ cov_floor() {
 cov_floor ./internal/scanner 75
 cov_floor ./internal/websim 75
 cov_floor ./internal/analysis 75
+cov_floor ./internal/shard 75
 
 # Benchmark smoke: prove the BenchmarkCampaign harness (the input to
 # scripts/bench.sh and BENCH_PR5.json) still runs; the full regression gate
@@ -69,6 +70,7 @@ fuzz_smoke ./internal/wire FuzzShortHeader
 fuzz_smoke ./internal/wire FuzzLongHeader
 fuzz_smoke ./internal/qlog FuzzQlogParse
 fuzz_smoke ./internal/h3 FuzzH3Request
+fuzz_smoke ./internal/analysis FuzzAccumulatorUnmarshal
 
 # Interrupt-and-resume smoke: SIGKILL a real spinscan campaign mid-run,
 # resume it from the checkpoint journal, and require the rendered tables to
@@ -104,6 +106,37 @@ wait "$scan_pid" 2>/dev/null || true
 "$tmp/spinscan" $scan_flags -checkpoint "$tmp/ckpt" -resume 2>/dev/null >"$tmp/resumed.txt"
 if ! diff -u "$tmp/reference.txt" "$tmp/resumed.txt"; then
     echo "resumed tables differ from the uninterrupted reference" >&2
+    exit 1
+fi
+
+# Sharded interrupt-and-resume smoke: the same unclean-death contract for
+# the distributed coordinator — SIGKILL a sharded campaign mid-run, resume
+# from the per-shard journals, and require byte-identical tables against an
+# uninterrupted sharded reference (which TestShardDeterminism already pins
+# to the unsharded output). The UDP transport on the resume leg exercises
+# the collector exchange from the CLI.
+echo "== sharded interrupt-and-resume smoke"
+shard_flags="-scale 20000 -engine emulated -week 3 -workers 4 -progress 0 -shards 4"
+
+"$tmp/spinscan" $shard_flags 2>/dev/null >"$tmp/shard-reference.txt"
+
+"$tmp/spinscan" $shard_flags -checkpoint "$tmp/shard-ckpt" 2>/dev/null >/dev/null &
+shard_pid=$!
+i=0
+while [ "$(cat "$tmp"/shard-ckpt/*/*/*.jsonl 2>/dev/null | wc -l)" -lt 20 ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        break
+    fi
+    sleep 0.05
+done
+kill -9 "$shard_pid" 2>/dev/null || true
+wait "$shard_pid" 2>/dev/null || true
+
+"$tmp/spinscan" $shard_flags -checkpoint "$tmp/shard-ckpt" -resume -shard-transport udp \
+    2>/dev/null >"$tmp/shard-resumed.txt"
+if ! diff -u "$tmp/shard-reference.txt" "$tmp/shard-resumed.txt"; then
+    echo "resumed sharded tables differ from the uninterrupted reference" >&2
     exit 1
 fi
 
