@@ -69,6 +69,10 @@ func main() {
 	shards := flag.Int("shards", 0, "split the population into this many concurrently scanned shards (0 = unsharded)")
 	vantagesSpec := flag.String("vantages", "", `scan from multiple vantage points, e.g. "local,far:30+5" (name[:extra_delay_ms[+jitter_ms]], comma-separated)`)
 	shardTransport := flag.String("shard-transport", "inproc", "shard accumulator merge path: inproc, serialized or udp")
+	shardRestarts := flag.Int("shard-restarts", 2, "restart budget per shard worker: crashed/stalled shards are relaunched from their journals this many times before being declared lost")
+	shardStall := flag.Duration("shard-stall-timeout", 0, "kill and restart a shard worker that delivers nothing for this long (0 disables the stall watchdog)")
+	strictShards := flag.Bool("strict-shards", false, "abort the campaign when any shard exhausts its restart budget instead of merging the survivors with a coverage report")
+	shardFaults := flag.String("shard-faults", "", `chaos-test fault plan, e.g. "seed:3,drop:0.1,corrupt:0.05,crash:1@40" (drop/dup/corrupt/delay:P, max-delay:DUR, crash|panic|stall:SHARD@DOMAINS[xTIMES])`)
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -233,6 +237,10 @@ func main() {
 		if nv == 0 {
 			nv = 1
 		}
+		faultPlan, err := shard.ParseFaultPlan(*shardFaults)
+		if err != nil {
+			log.Fatalf("-shard-faults: %v", err)
+		}
 		log.Printf("scanning weeks %d-%d across %d shards, %d vantage(s), %s transport...",
 			first, last, nshards, nv, tr)
 		shardRes, err = shard.Run(world, shard.Config{
@@ -247,11 +255,17 @@ func main() {
 				cfg.Checkpoint, cfg.Resume = "", false
 				return cfg
 			},
-			Checkpoint: *checkpoint,
-			Resume:     *resume,
-			Transport:  tr,
-			Telemetry:  reg,
-			Live:       live,
+			Checkpoint:   *checkpoint,
+			Resume:       *resume,
+			Transport:    tr,
+			Telemetry:    reg,
+			Live:         live,
+			Trace:        tracer,
+			MaxRestarts:  *shardRestarts,
+			StallTimeout: *shardStall,
+			StrictShards: *strictShards,
+			Faults:       faultPlan,
+			Logf:         log.Printf,
 		})
 		if errors.Is(err, scanner.ErrInterrupted) {
 			if *checkpoint != "" {
@@ -325,6 +339,18 @@ func main() {
 		}
 		if shardRes != nil && len(shardRes.Vantages) > 1 {
 			tables = append(tables, shard.RenderAgreement(shardRes))
+		}
+		// A degraded merge (lost shards, no -strict-shards) ships its
+		// coverage accounting with the tables: which shards survived, what
+		// domain ranges are missing, and a per-table confidence caveat.
+		if shardRes != nil && !shardRes.Vantages[0].Coverage.Complete() {
+			cov := shardRes.Vantages[0].Coverage
+			for _, tb := range tables {
+				if note := cov.Confidence(tb.Title); note != "" {
+					log.Printf("coverage: %s", note)
+				}
+			}
+			tables = append(tables, shard.RenderCoverage(cov))
 		}
 		accuracy = camp.RenderAccuracy(4)
 	} else {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -61,14 +62,16 @@ func (w *WindowStats) fold(d *scanner.DomainResult, cls Class) {
 // are safe for concurrent use; a nil *Live is a valid no-op, so the scan
 // path needs no dashboard branches.
 type Live struct {
-	mu      sync.Mutex
-	size    int                  // domains per window
-	keep    int                  // closed windows retained
-	accs    map[int]*Accumulator // latest week accumulator per shard
-	vantage string
-	totals  WindowStats
-	cur     WindowStats
-	windows []WindowStats // closed, oldest first, ≤ keep
+	mu       sync.Mutex
+	size     int                  // domains per window
+	keep     int                  // closed windows retained
+	accs     map[int]*Accumulator // latest week accumulator per shard
+	vantage  string
+	totals   WindowStats
+	cur      WindowStats
+	windows  []WindowStats // closed, oldest first, ≤ keep
+	restarts int           // supervised shard restarts
+	lost     map[int]bool  // shards abandoned by the supervisor
 }
 
 // NewLive creates dashboard state with the given window size (domains per
@@ -135,6 +138,37 @@ func (l *Live) SetVantage(name string) {
 	l.mu.Unlock()
 }
 
+// NoteRestart records one supervised shard-worker restart (shown in
+// /debug/campaign). A restarted shard re-registers its accumulator via
+// ShardSink, so the cumulative tables stay exact; only the rolling-window
+// counters see the replayed deliveries twice. Nil-safe.
+func (l *Live) NoteRestart(shard int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.restarts++
+	l.mu.Unlock()
+}
+
+// NoteLost records a shard permanently abandoned by the supervisor; the
+// dashboard's tables then cover the population minus that shard's range.
+// Nil-safe.
+func (l *Live) NoteLost(shard int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.lost == nil {
+		l.lost = map[int]bool{}
+	}
+	l.lost[shard] = true
+	// A lost shard's partial accumulator must not leak into the merged
+	// tables: its last attempt died mid-range.
+	delete(l.accs, shard)
+	l.mu.Unlock()
+}
+
 // roll closes the current window. Caller holds l.mu.
 func (l *Live) roll() {
 	l.windows = append(l.windows, l.cur)
@@ -155,6 +189,11 @@ type LiveSnapshot struct {
 	// when the campaign set one.
 	Shards  int    `json:"shards"`
 	Vantage string `json:"vantage,omitempty"`
+	// Restarts counts supervised shard-worker restarts; LostShards lists
+	// shards the supervisor abandoned (their ranges are missing from the
+	// tables below).
+	Restarts   int   `json:"restarts,omitempty"`
+	LostShards []int `json:"lost_shards,omitempty"`
 	// Windows holds the retained closed windows followed by the current
 	// open one (so the document is non-empty from the first domain).
 	Windows []WindowStats `json:"windows"`
@@ -174,7 +213,11 @@ func (l *Live) Snapshot() LiveSnapshot {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	snap := LiveSnapshot{WindowSize: l.size, Totals: l.totals, Vantage: l.vantage, Shards: len(l.accs)}
+	snap := LiveSnapshot{WindowSize: l.size, Totals: l.totals, Vantage: l.vantage, Shards: len(l.accs), Restarts: l.restarts}
+	for shard := range l.lost {
+		snap.LostShards = append(snap.LostShards, shard)
+	}
+	sort.Ints(snap.LostShards)
 	snap.Windows = append(snap.Windows, l.windows...)
 	snap.Windows = append(snap.Windows, l.cur)
 	if acc := l.mergedLocked(); acc != nil {
@@ -234,6 +277,12 @@ func renderText(s *LiveSnapshot) string {
 	}
 	if s.Vantage != "" {
 		fmt.Fprintf(&b, " · vantage %s", s.Vantage)
+	}
+	if s.Restarts > 0 {
+		fmt.Fprintf(&b, " · %d restart(s)", s.Restarts)
+	}
+	if len(s.LostShards) > 0 {
+		fmt.Fprintf(&b, " · lost shards %v", s.LostShards)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "Totals: domains=%s resolved=%s quic=%s spin=%s conns=%s conn_errs=%s\n\n",

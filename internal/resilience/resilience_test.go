@@ -87,6 +87,27 @@ func TestRetryPolicyZeroValueDisabled(t *testing.T) {
 	}
 }
 
+func TestRetrySleepInterruptible(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Jitter: -1}
+	if !p.Sleep(nil, 0, nil) {
+		t.Fatal("uninterrupted Sleep must report completion")
+	}
+	// A closed interrupt channel aborts even a very long backoff at once.
+	interrupted := make(chan struct{})
+	close(interrupted)
+	long := RetryPolicy{BaseBackoff: time.Hour, Jitter: -1}
+	done := make(chan bool, 1)
+	go func() { done <- long.Sleep(nil, 0, interrupted) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("interrupted Sleep must report false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep ignored the closed interrupt channel")
+	}
+}
+
 func TestBreakerStateMachine(t *testing.T) {
 	cfg := BreakerConfig{Threshold: 3, Cooldown: time.Second, SkipCost: 100 * time.Millisecond}
 	b := NewBreaker(cfg)

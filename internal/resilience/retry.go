@@ -55,6 +55,25 @@ func (p RetryPolicy) jitter() float64 {
 // (0-based): base·2^retry capped at max, with symmetric jitter drawn from
 // rng. A nil rng disables jitter.
 func (p RetryPolicy) Backoff(rng *rand.Rand, retry int) time.Duration {
+	return p.backoff(rng, retry)
+}
+
+// Sleep blocks in wall-clock time for Backoff(rng, retry), returning
+// early with false when interrupt closes first. Supervisors pacing
+// real restarts use this; the scan path keeps its virtual-time Backoff.
+// A nil interrupt channel sleeps uninterruptibly.
+func (p RetryPolicy) Sleep(rng *rand.Rand, retry int, interrupt <-chan struct{}) bool {
+	t := time.NewTimer(p.backoff(rng, retry))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-interrupt:
+		return false
+	}
+}
+
+func (p RetryPolicy) backoff(rng *rand.Rand, retry int) time.Duration {
 	d := p.max()
 	if retry < 30 { // 2^30 · base would overflow any sane cap anyway
 		if e := p.base() << uint(retry); e < d {

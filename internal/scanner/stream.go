@@ -169,19 +169,13 @@ func (c *campaign) scanStep(eng *engine, shard int, rec *trace.Recorder, d *webs
 	if fromCheckpoint {
 		c.tm.resumed.Inc()
 		if rec != nil {
-			at := (*eng).clockNow()
-			rec.Begin(d.Name, at)
-			rec.Attr("source", "checkpoint")
-			rec.End(at, traceOutcome(&res))
+			rec.Event(d.Name, (*eng).clockNow(), traceOutcome(&res), "source", "checkpoint")
 		}
 	} else if dec.Skip {
 		res = breakerSkipResult(d)
 		c.tm.breakerSkipped.Inc()
 		if rec != nil {
-			at := (*eng).clockNow()
-			rec.Begin(d.Name, at)
-			rec.Attr("source", "breaker-skip")
-			rec.End(at, traceOutcome(&res))
+			rec.Event(d.Name, (*eng).clockNow(), traceOutcome(&res), "source", "breaker-skip")
 		}
 	} else {
 		var panicked bool

@@ -2,17 +2,20 @@ package shard
 
 import (
 	"bytes"
-	"encoding/binary"
+	"errors"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"quicspin/internal/resilience"
+	"quicspin/internal/udprun"
 )
 
 func TestCollectorRoundTrip(t *testing.T) {
 	const want = 3
-	col, err := NewCollector(want)
+	col, err := NewCollector(want, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,12 +47,17 @@ func TestCollectorRoundTrip(t *testing.T) {
 			t.Errorf("shard %d blob mangled: %d bytes, want %d", i, len(got[i]), len(blobs[i]))
 		}
 	}
+	if errs := col.Errors(); len(errs) != 0 {
+		t.Errorf("clean round trip recorded decode errors: %v", errs)
+	}
 }
 
-// TestCollectorDuplicate checks that a resubmitted shard is acked (the
-// worker must not hang) while the first blob wins.
+// TestCollectorDuplicate checks resubmission semantics: a byte-identical
+// duplicate is acked silently (idempotent retry), a byte-different one is
+// still acked (the worker must not hang) but recorded as a conflict, and
+// the first blob wins either way.
 func TestCollectorDuplicate(t *testing.T) {
-	col, err := NewCollector(2)
+	col, err := NewCollector(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,8 +65,14 @@ func TestCollectorDuplicate(t *testing.T) {
 	if err := col.Submit(0, []byte("first")); err != nil {
 		t.Fatal(err)
 	}
+	if err := col.Submit(0, []byte("first")); err != nil {
+		t.Fatalf("identical resubmission not acked: %v", err)
+	}
+	if errs := col.Errors(); len(errs) != 0 {
+		t.Errorf("identical resubmission recorded as conflict: %v", errs)
+	}
 	if err := col.Submit(0, []byte("second")); err != nil {
-		t.Fatalf("duplicate submission not acked: %v", err)
+		t.Fatalf("conflicting duplicate not acked: %v", err)
 	}
 	if err := col.Submit(1, []byte("other")); err != nil {
 		t.Fatal(err)
@@ -70,12 +84,17 @@ func TestCollectorDuplicate(t *testing.T) {
 	if string(got[0]) != "first" {
 		t.Errorf("duplicate overwrote shard 0: %q", got[0])
 	}
+	errs := col.Errors()
+	if len(errs) != 1 || errs[0].Reason != "conflict" || errs[0].Shard != 0 {
+		t.Errorf("conflicting duplicate not recorded: %v", errs)
+	}
 }
 
-// TestCollectorTimeout pins the missing-shard diagnostic: a malformed
-// submission is acked but never recorded, so Wait reports the shortfall.
+// TestCollectorTimeout pins the missing-shard diagnostic: an out-of-range
+// submission is NAK'd and recorded, so the submitting worker learns it was
+// rejected and Wait's CollectError names both the shortfall and the cause.
 func TestCollectorTimeout(t *testing.T) {
-	col, err := NewCollector(2)
+	col, err := NewCollector(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,18 +102,61 @@ func TestCollectorTimeout(t *testing.T) {
 	if err := col.Submit(0, []byte("good")); err != nil {
 		t.Fatal(err)
 	}
-	// Shard index 7 is out of range for want=2: acked, dropped.
-	if err := col.Submit(7, []byte("bad")); err != nil {
-		t.Fatalf("out-of-range submission not acked: %v", err)
+	// Shard index 7 is out of range for want=2: NAK'd on every attempt.
+	err = Submit(col.Addr().String(), 7, []byte("bad"), 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("out-of-range submission = %v, want nak rejection", err)
+	}
+	var serr *SubmitError
+	if !errors.As(err, &serr) || serr.Shard != 7 || serr.Attempts != 1 {
+		t.Errorf("out-of-range submission error = %#v, want *SubmitError{Shard: 7, Attempts: 1}", err)
 	}
 	_, err = col.Wait(200 * time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "1 of 2") {
-		t.Errorf("Wait = %v, want timeout naming 1 of 2 accumulators", err)
+		t.Fatalf("Wait = %v, want timeout naming 1 of 2 accumulators", err)
+	}
+	var cerr *CollectError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("Wait error is %T, want *CollectError", err)
+	}
+	if len(cerr.Missing) != 1 || cerr.Missing[0] != 1 {
+		t.Errorf("CollectError.Missing = %v, want [1]", cerr.Missing)
+	}
+	if len(cerr.Decode) != 1 || cerr.Decode[0].Reason != "shard-range" || cerr.Decode[0].Shard != 7 {
+		t.Errorf("CollectError.Decode = %v, want one shard-range rejection for shard 7", cerr.Decode)
+	}
+}
+
+// TestCollectorAbandon checks that abandoning a lost shard completes Wait
+// early with the surviving blobs instead of burning the whole timeout.
+func TestCollectorAbandon(t *testing.T) {
+	col, err := NewCollector(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if err := col.Submit(0, []byte("zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Submit(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	col.Abandon(1)
+	start := time.Now()
+	got, err := col.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Wait took %v despite full coverage", elapsed)
+	}
+	if len(got) != 2 || got[1] != nil {
+		t.Errorf("Wait = %v, want shards 0 and 2 only", got)
 	}
 }
 
 func TestCollectorZeroShards(t *testing.T) {
-	col, err := NewCollector(0)
+	col, err := NewCollector(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,18 +168,76 @@ func TestCollectorZeroShards(t *testing.T) {
 }
 
 func TestParseSubmission(t *testing.T) {
-	payload := append(binary.AppendUvarint(nil, 1), 'x', 'y')
-	shard, blob, err := parseSubmission(payload, 2)
-	if err != nil || shard != 1 || string(blob) != "xy" {
-		t.Errorf("parseSubmission = %d, %q, %v", shard, blob, err)
+	shard, blob, derr := parseSubmission(frameSubmission(1, []byte("xy")), 2)
+	if derr != nil || shard != 1 || string(blob) != "xy" {
+		t.Errorf("parseSubmission = %d, %q, %v", shard, blob, derr)
 	}
-	for _, bad := range [][]byte{
-		{},                           // no header
-		binary.AppendUvarint(nil, 5), // shard out of range for want=2
-		{0x80},                       // truncated varint
-	} {
-		if _, _, err := parseSubmission(bad, 2); err == nil {
-			t.Errorf("parseSubmission(%v) accepted", bad)
+	cases := []struct {
+		name   string
+		data   []byte
+		reason string
+	}{
+		{"empty", nil, "header"},
+		{"short", []byte{1, 2, 3}, "header"},
+		{"unframed", []byte("raw bytes without framing"), "crc"},
+		{"shard-range", frameSubmission(5, []byte("x")), "shard-range"},
+	}
+	for _, tc := range cases {
+		_, _, derr := parseSubmission(tc.data, 2)
+		if derr == nil || derr.Reason != tc.reason {
+			t.Errorf("parseSubmission(%s) = %v, want %s rejection", tc.name, derr, tc.reason)
+		}
+	}
+	// Every single-bit flip anywhere in the frame — header, payload or
+	// checksum — must be rejected: the CRC covers the whole frame, so no
+	// flip can silently reattribute or mangle a submission.
+	frame := frameSubmission(1, []byte("accumulator bytes"))
+	for bit := 0; bit < 8*len(frame); bit++ {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if s, b, derr := parseSubmission(mut, 2); derr == nil {
+			t.Fatalf("bit flip %d accepted: shard %d, %q", bit, s, b)
+		}
+	}
+}
+
+// TestSubmitRetriesHealFaultyTransport pins the hardening claim: with
+// aggressive datagram faults on both sides (drop, dup, corrupt, delay),
+// retried idempotent submission still delivers every blob intact.
+func TestSubmitRetriesHealFaultyTransport(t *testing.T) {
+	faults := &udprun.FaultConfig{Seed: 42, Drop: 0.1, Dup: 0.1, Corrupt: 0.05, Delay: 0.1, MaxDelay: 5 * time.Millisecond}
+	const want = 4
+	col, err := NewCollector(want, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	blobs := make([][]byte, want)
+	var wg sync.WaitGroup
+	for i := range blobs {
+		blobs[i] = bytes.Repeat([]byte{byte('A' + i)}, 512*(i+1))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := SubmitWithPolicy(col.Addr().String(), i, blobs[i], SubmitPolicy{
+				MaxAttempts: 5,
+				AckTimeout:  2 * time.Second,
+				Backoff:     resilience.RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Jitter: -1},
+				Faults:      faults,
+			})
+			if err != nil {
+				t.Errorf("submit %d through faulty transport: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := col.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blobs {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Errorf("shard %d blob corrupted in transit: %d bytes, want %d", i, len(got[i]), len(blobs[i]))
 		}
 	}
 }

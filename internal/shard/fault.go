@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"quicspin/internal/udprun"
+)
+
+// FaultPlan is a deterministic chaos schedule for one distributed
+// campaign: seeded datagram faults on the UDP accumulator exchange plus
+// scripted shard-worker crashes. It exists so fault tolerance is testable
+// — the determinism suite runs the same campaign with a plan on and off
+// and requires byte-identical tables, proving supervision and transport
+// hardening are output-neutral.
+type FaultPlan struct {
+	// Transport is the datagram fault profile applied to both ends of the
+	// UDP collector exchange (no effect on inproc/serialized transports).
+	Transport udprun.FaultConfig
+	// Crashes kill shard workers mid-scan; the supervisor is expected to
+	// restart them from their checkpoint journals.
+	Crashes []CrashSpec
+}
+
+// CrashSpec scripts one shard worker's death.
+type CrashSpec struct {
+	// Vantage is the vantage index the crash applies to (0 = first; -1 =
+	// every vantage).
+	Vantage int
+	// Shard is the shard whose worker dies.
+	Shard int
+	// After is the number of delivered domains before the fault fires; the
+	// crash lands on delivery After+1. A value beyond the shard's
+	// population never fires.
+	After int
+	// Times is how many consecutive attempts die (default 1): Times ≤ the
+	// restart budget is a transient fault the supervisor recovers from,
+	// Times > budget permanently loses the shard.
+	Times int
+	// Kind selects the failure mode: "error" (the worker returns an
+	// error), "panic" (the worker panics) or "stall" (the worker stops
+	// making progress until the supervisor's stall watchdog kills it).
+	Kind string
+}
+
+func (c CrashSpec) times() int {
+	if c.Times <= 0 {
+		return 1
+	}
+	return c.Times
+}
+
+// crashFor returns the crash scripted for one (vantage, shard) worker, or
+// nil. Nil-safe.
+func (p *FaultPlan) crashFor(vi, si int) *CrashSpec {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Crashes {
+		c := &p.Crashes[i]
+		if c.Shard == si && (c.Vantage == vi || c.Vantage == -1) {
+			return c
+		}
+	}
+	return nil
+}
+
+// transportFaults returns the plan's datagram fault profile when it has
+// one, else nil. Nil-safe.
+func (p *FaultPlan) transportFaults() *udprun.FaultConfig {
+	if p == nil || !p.Transport.Enabled() {
+		return nil
+	}
+	return &p.Transport
+}
+
+// Enabled reports whether the plan injects anything. Nil-safe.
+func (p *FaultPlan) Enabled() bool {
+	return p != nil && (p.Transport.Enabled() || len(p.Crashes) > 0)
+}
+
+// ParseFaultPlan parses the spinscan -shard-faults flag: a comma-separated
+// list of directives.
+//
+//	seed:N          fault rng seed (default 1)
+//	drop:P          datagram drop probability (0-1)
+//	dup:P           datagram duplication probability
+//	corrupt:P       datagram single-bit-flip probability
+//	delay:P         datagram hold-back probability
+//	max-delay:DUR   hold-back bound, e.g. 50ms
+//	crash:S@N       shard S's worker errors out after N delivered domains
+//	panic:S@N       …panics instead
+//	stall:S@N       …stops making progress (needs a stall timeout)
+//
+// Crash directives accept an xT multiplier (crash:1@40x2 = two attempts
+// die) and apply to every vantage. An empty spec returns nil.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	plan := &FaultPlan{Transport: udprun.FaultConfig{Seed: 1}}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		key, val, ok := strings.Cut(item, ":")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("shard: fault directive %q: want key:value", item)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: fault seed %q: %v", val, err)
+			}
+			plan.Transport.Seed = n
+		case "drop", "dup", "corrupt", "delay":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("shard: fault probability %q: want a value in [0, 1]", item)
+			}
+			switch key {
+			case "drop":
+				plan.Transport.Drop = p
+			case "dup":
+				plan.Transport.Dup = p
+			case "corrupt":
+				plan.Transport.Corrupt = p
+			case "delay":
+				plan.Transport.Delay = p
+			}
+		case "max-delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("shard: fault max-delay %q: want a positive duration", val)
+			}
+			plan.Transport.MaxDelay = d
+		case "crash", "panic", "stall":
+			c, err := parseCrash(key, val)
+			if err != nil {
+				return nil, err
+			}
+			plan.Crashes = append(plan.Crashes, c)
+		default:
+			return nil, fmt.Errorf("shard: unknown fault directive %q", key)
+		}
+	}
+	return plan, nil
+}
+
+// parseCrash parses S@N[xT] into a CrashSpec of the given kind.
+func parseCrash(kind, val string) (CrashSpec, error) {
+	c := CrashSpec{Vantage: -1, Kind: "error"}
+	if kind != "crash" {
+		c.Kind = kind
+	}
+	shardStr, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return c, fmt.Errorf("shard: fault %s:%s: want %s:shard@domains", kind, val, kind)
+	}
+	afterStr, timesStr, hasTimes := strings.Cut(rest, "x")
+	var err error
+	if c.Shard, err = strconv.Atoi(shardStr); err != nil || c.Shard < 0 {
+		return c, fmt.Errorf("shard: fault %s:%s: bad shard %q", kind, val, shardStr)
+	}
+	if c.After, err = strconv.Atoi(afterStr); err != nil || c.After < 0 {
+		return c, fmt.Errorf("shard: fault %s:%s: bad domain count %q", kind, val, afterStr)
+	}
+	if hasTimes {
+		if c.Times, err = strconv.Atoi(timesStr); err != nil || c.Times < 1 {
+			return c, fmt.Errorf("shard: fault %s:%s: bad multiplier %q", kind, val, timesStr)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("seed:9, drop:0.1, dup:0.05, corrupt:0.02, delay:0.2, max-delay:40ms, crash:1@25, panic:0@40x2, stall:3@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.Transport
+	if tr.Seed != 9 || tr.Drop != 0.1 || tr.Dup != 0.05 || tr.Corrupt != 0.02 || tr.Delay != 0.2 || tr.MaxDelay != 40*time.Millisecond {
+		t.Errorf("transport profile = %+v", tr)
+	}
+	want := []CrashSpec{
+		{Vantage: -1, Shard: 1, After: 25, Kind: "error"},
+		{Vantage: -1, Shard: 0, After: 40, Times: 2, Kind: "panic"},
+		{Vantage: -1, Shard: 3, After: 10, Kind: "stall"},
+	}
+	if len(plan.Crashes) != len(want) {
+		t.Fatalf("crashes = %+v, want %+v", plan.Crashes, want)
+	}
+	for i := range want {
+		if plan.Crashes[i] != want[i] {
+			t.Errorf("crash %d = %+v, want %+v", i, plan.Crashes[i], want[i])
+		}
+	}
+	if !plan.Enabled() || plan.transportFaults() == nil {
+		t.Error("parsed plan reads as disabled")
+	}
+	if c := plan.crashFor(2, 0); c == nil || c.Kind != "panic" {
+		t.Errorf("crashFor(2, 0) = %+v, want the panic spec (vantage wildcard)", c)
+	}
+	if c := plan.crashFor(0, 7); c != nil {
+		t.Errorf("crashFor(0, 7) = %+v, want nil", c)
+	}
+}
+
+func TestParseFaultPlanEmptyAndErrors(t *testing.T) {
+	if plan, err := ParseFaultPlan("  "); plan != nil || err != nil {
+		t.Errorf("blank spec = %v, %v; want nil plan", plan, err)
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Enabled() || nilPlan.crashFor(0, 0) != nil || nilPlan.transportFaults() != nil {
+		t.Error("nil plan is not inert")
+	}
+	for _, bad := range []string{
+		"drop", "drop:", "drop:2", "drop:x", "seed:x", "max-delay:0",
+		"max-delay:soon", "warp:0.5", "crash:1", "crash:x@2", "crash:-1@2",
+		"crash:1@-2", "crash:1@2x0", "crash:1@2xq", "stall:@5",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCrashSpecDefaults(t *testing.T) {
+	if n := (CrashSpec{}).times(); n != 1 {
+		t.Errorf("zero Times = %d attempts, want 1", n)
+	}
+	if n := (CrashSpec{Times: 3}).times(); n != 3 {
+		t.Errorf("Times 3 = %d", n)
+	}
+}
+
+func TestBuildCoverage(t *testing.T) {
+	statuses := []ShardStatus{
+		{Shard: 0, Range: Range{0, 10}, State: ShardOK},
+		{Shard: 1, Range: Range{10, 20}, State: ShardLost},
+		{Shard: 2, Range: Range{20, 30}, State: ShardLost},
+		{Shard: 3, Range: Range{30, 40}, State: ShardRecovered, Restarts: 1, Faults: []string{"attempt 1: injected"}},
+	}
+	cov := buildCoverage(40, statuses)
+	if cov.Complete() {
+		t.Fatal("lossy coverage reads as complete")
+	}
+	if cov.CoveredDomains != 20 || cov.TotalDomains != 40 {
+		t.Errorf("covered %d/%d, want 20/40", cov.CoveredDomains, cov.TotalDomains)
+	}
+	// Adjacent lost shards coalesce into one missing range.
+	if len(cov.Missing) != 1 || (cov.Missing[0] != Range{10, 30}) {
+		t.Errorf("missing = %v, want [{10 30}]", cov.Missing)
+	}
+	if f := cov.Fraction(); f != 0.5 {
+		t.Errorf("fraction = %v, want 0.5", f)
+	}
+	ann := cov.Confidence("Table 1")
+	for _, part := range []string{"Table 1", "50.0%", "20 of 40", "[10,30)"} {
+		if !strings.Contains(ann, part) {
+			t.Errorf("confidence %q missing %q", ann, part)
+		}
+	}
+	rendered := RenderCoverage(cov).String()
+	for _, part := range []string{"20 of 40", "lost", "recovered", "attempt 1: injected", "[10,20)"} {
+		if !strings.Contains(rendered, part) {
+			t.Errorf("coverage table missing %q:\n%s", part, rendered)
+		}
+	}
+
+	full := buildCoverage(40, []ShardStatus{{Shard: 0, Range: Range{0, 40}, State: ShardOK}})
+	if !full.Complete() || full.Confidence("Table 1") != "" || full.Fraction() != 1 {
+		t.Errorf("clean coverage = %+v", full)
+	}
+	if empty := buildCoverage(0, nil); !empty.Complete() || empty.Fraction() != 1 {
+		t.Errorf("empty coverage = %+v", empty)
+	}
+}
+
+func TestShardStateString(t *testing.T) {
+	cases := map[ShardState]string{ShardOK: "ok", ShardRecovered: "recovered", ShardLost: "lost", ShardState(9): "ShardState(9)"}
+	for state, want := range cases {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}
+
+// FuzzSubmissionFrame pins the framing's two safety properties: a framed
+// submission round-trips exactly, and any single-bit corruption of the
+// frame — header, payload or trailer — is rejected, never silently
+// accepted or panicking.
+func FuzzSubmissionFrame(f *testing.F) {
+	f.Add([]byte("accumulator blob"), uint16(3), uint16(7))
+	f.Add([]byte{}, uint16(0), uint16(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 300), uint16(63), uint16(1000))
+	f.Fuzz(func(t *testing.T, blob []byte, shard16, bit16 uint16) {
+		const want = 64
+		shard := int(shard16 % want)
+		frame := frameSubmission(shard, blob)
+		gotShard, gotBlob, derr := parseSubmission(frame, want)
+		if derr != nil {
+			t.Fatalf("freshly framed submission rejected: %v", derr)
+		}
+		if gotShard != shard || !bytes.Equal(gotBlob, blob) {
+			t.Fatalf("round trip = shard %d, %d bytes; want shard %d, %d bytes", gotShard, len(gotBlob), shard, len(blob))
+		}
+		bit := int(bit16) % (8 * len(frame))
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if s, b, derr := parseSubmission(mut, want); derr == nil {
+			t.Fatalf("bit flip %d accepted as shard %d with %d bytes", bit, s, len(b))
+		}
+		// Raw unframed bytes must be rejected without panicking too.
+		if _, _, derr := parseSubmission(blob, want); derr == nil && len(blob) > 0 {
+			// A blob that happens to be a valid frame is astronomically
+			// unlikely but legal; only a nil error with empty input is a bug.
+			if len(blob) <= 4 {
+				t.Fatalf("tiny unframed payload accepted")
+			}
+		}
+	})
+}

@@ -26,11 +26,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quicspin/internal/analysis"
+	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/telemetry"
+	"quicspin/internal/trace"
 	"quicspin/internal/websim"
 )
 
@@ -135,6 +138,42 @@ type Config struct {
 	// Live, when non-nil, receives every shard's deliveries for the
 	// /debug/campaign dashboard (shard-merged tables, rolling windows).
 	Live *analysis.Live
+	// Trace, when non-nil, receives supervisor events (shard restarts and
+	// losses) as synthetic traces alongside the scanner's per-domain ones.
+	Trace *trace.Tracer
+	// MaxRestarts is each shard's restart budget: how many times the
+	// supervisor will relaunch a crashed, panicked or stalled worker
+	// (resuming from its checkpoint journal) before declaring the shard
+	// lost. Zero means workers are never restarted.
+	MaxRestarts int
+	// RestartBackoff paces restarts (real time). The zero value takes the
+	// resilience defaults: 250ms base, doubling, capped at 5s.
+	RestartBackoff resilience.RetryPolicy
+	// StallTimeout arms the supervisor's stall watchdog: a worker that
+	// delivers nothing for this long is killed and restarted like a crash.
+	// Zero disables stall detection.
+	StallTimeout time.Duration
+	// StrictShards restores fail-fast semantics: any shard lost after its
+	// restart budget aborts the campaign. When false (the default), the
+	// coordinator merges the surviving shards and reports exactly what is
+	// missing through VantageResult.Coverage.
+	StrictShards bool
+	// Faults, when non-nil, injects the plan's scripted worker crashes and
+	// datagram faults — the chaos harness the determinism suite runs under.
+	Faults *FaultPlan
+	// Logf, when non-nil, receives supervisor progress lines (restarts,
+	// losses, submit retries).
+	Logf func(format string, args ...any)
+}
+
+// interruptCh is the campaign's operator-interrupt channel, as configured
+// through ForWeek. The supervisor keeps it separate from its own stall
+// watchdog so it can tell an interrupt from a dead worker.
+func (c Config) interruptCh() <-chan struct{} {
+	if c.ForWeek == nil || len(c.Weeks) == 0 {
+		return nil
+	}
+	return c.ForWeek(c.Weeks[0]).Interrupt
 }
 
 // Validate reports descriptive errors for coordinator misconfiguration.
@@ -154,6 +193,24 @@ func (c Config) Validate() error {
 	if c.Resume && c.Checkpoint == "" {
 		return fmt.Errorf("shard: Resume requires a Checkpoint directory")
 	}
+	if c.MaxRestarts < 0 {
+		return fmt.Errorf("shard: MaxRestarts must be >= 0, got %d", c.MaxRestarts)
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("shard: StallTimeout must be >= 0, got %v", c.StallTimeout)
+	}
+	if c.Faults != nil {
+		for _, crash := range c.Faults.Crashes {
+			switch crash.Kind {
+			case "", "error", "panic", "stall":
+			default:
+				return fmt.Errorf("shard: unknown crash kind %q (want error, panic or stall)", crash.Kind)
+			}
+			if crash.Shard < 0 || crash.Shard >= c.Shards {
+				return fmt.Errorf("shard: crash targets shard %d, campaign has %d", crash.Shard, c.Shards)
+			}
+		}
+	}
 	return nil
 }
 
@@ -161,6 +218,9 @@ func (c Config) Validate() error {
 type VantageResult struct {
 	Vantage  scanner.Vantage
 	Campaign *analysis.CampaignAccumulator
+	// Coverage records each shard's supervision outcome and — for degraded
+	// merges — exactly which population ranges the campaign is missing.
+	Coverage Coverage
 }
 
 // Result is the outcome of one distributed campaign.
@@ -194,11 +254,11 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 	res := &Result{Shards: cfg.Shards}
 	for vi, v := range vantages {
 		cfg.Live.SetVantage(vantageLabel(v, vi))
-		camp, err := runVantage(w, cfg, v, vi)
+		camp, cov, err := runVantage(w, cfg, v, vi)
 		if err != nil && !errors.Is(err, scanner.ErrInterrupted) {
 			return nil, err
 		}
-		res.Vantages = append(res.Vantages, VantageResult{Vantage: v, Campaign: camp})
+		res.Vantages = append(res.Vantages, VantageResult{Vantage: v, Campaign: camp, Coverage: cov})
 		if err != nil {
 			return res, scanner.ErrInterrupted
 		}
@@ -213,65 +273,100 @@ func Run(w *websim.World, cfg Config) (*Result, error) {
 const collectTimeout = 30 * time.Second
 
 // runVantage scans the whole population from one vantage point across all
-// shards and merges their campaigns.
-func runVantage(w *websim.World, cfg Config, v scanner.Vantage, vi int) (*analysis.CampaignAccumulator, error) {
+// shards — each under the supervisor's crash/stall recovery — and merges
+// their campaigns. Shards that exhaust their restart budget are lost: in
+// strict mode that fails the campaign; otherwise the surviving shards
+// merge into a degraded campaign whose Coverage names the missing ranges.
+func runVantage(w *websim.World, cfg Config, v scanner.Vantage, vi int) (*analysis.CampaignAccumulator, Coverage, error) {
 	ranges := Plan(w.NumDomains(), cfg.Shards)
 	var col *Collector
 	if cfg.Transport == TransportUDP {
 		var err error
-		if col, err = NewCollector(len(ranges)); err != nil {
-			return nil, err
+		if col, err = NewCollector(len(ranges), cfg.Faults.transportFaults()); err != nil {
+			return nil, Coverage{}, err
 		}
 		defer col.Close()
 	}
+	sup := newSupervisor(w, cfg, v, vi, col)
 	camps := make([]*analysis.CampaignAccumulator, len(ranges))
-	errs := make([]error, len(ranges))
+	statuses := make([]ShardStatus, len(ranges))
 	var wg sync.WaitGroup
 	for si, r := range ranges {
 		wg.Add(1)
 		go func(si int, r Range) {
 			defer wg.Done()
-			camp, err := runShard(w, cfg, v, vi, si, r)
-			errs[si] = err
-			if col == nil {
-				camps[si] = camp
-				return
-			}
-			if err == nil || errors.Is(err, scanner.ErrInterrupted) {
-				// Interrupted shards still ship their partial campaign:
-				// the merged tables then cover exactly the completed
-				// prefix of every shard, like RunStream's partial sink.
-				if serr := col.Submit(si, camp.Marshal()); serr != nil && err == nil {
-					errs[si] = serr
+			camp, st := sup.superviseShard(si, r)
+			if col != nil && st.State != ShardLost && camp != nil {
+				// Completed and interrupted shards both ship their campaign:
+				// the merged tables then cover exactly the completed prefix
+				// of every shard, like RunStream's partial sink. A shard
+				// whose submission fails even after retries is as lost as a
+				// crashed one — its data never reached the coordinator.
+				if serr := sup.submit(si, camp); serr != nil {
+					st.State = ShardLost
+					st.Err = serr
+					st.Faults = append(st.Faults, fmt.Sprintf("submit: %v", serr))
+					sup.noteLost(si, st.Restarts, serr)
+					camp = nil
 				}
 			}
+			camps[si], statuses[si] = camp, st
 		}(si, r)
 	}
 	wg.Wait()
+	cov := buildCoverage(w.NumDomains(), statuses)
 	interrupted := false
-	for _, err := range errs {
-		switch {
-		case err == nil:
-		case errors.Is(err, scanner.ErrInterrupted):
+	for _, st := range statuses {
+		if errors.Is(st.Err, scanner.ErrInterrupted) {
 			interrupted = true
-		default:
-			return nil, err
 		}
+	}
+	if !cov.Complete() && cfg.StrictShards {
+		first := firstLost(statuses)
+		return nil, cov, fmt.Errorf("shard: %d of %d shards lost (strict mode; first loss: shard %d: %w)",
+			len(statuses)-countSurvivors(statuses), len(statuses), first.Shard, first.Err)
 	}
 	merged, err := mergeShards(cfg, w, camps, col)
 	if err != nil {
-		return nil, err
+		return nil, cov, err
 	}
 	if interrupted {
-		return merged, scanner.ErrInterrupted
+		return merged, cov, scanner.ErrInterrupted
 	}
-	return merged, nil
+	return merged, cov, nil
 }
 
-// runShard scans one population slice through every campaign week.
-func runShard(w *websim.World, cfg Config, v scanner.Vantage, vi, si int, r Range) (*analysis.CampaignAccumulator, error) {
+func firstLost(statuses []ShardStatus) ShardStatus {
+	for _, st := range statuses {
+		if st.State == ShardLost {
+			return st
+		}
+	}
+	return ShardStatus{Shard: -1}
+}
+
+func countSurvivors(statuses []ShardStatus) int {
+	n := 0
+	for _, st := range statuses {
+		if st.State != ShardLost {
+			n++
+		}
+	}
+	return n
+}
+
+// runShard scans one population slice through every campaign week — one
+// supervised attempt. forceResume replays the shard's checkpoint journal
+// even on campaigns that did not ask to resume (a restart must pick up the
+// crashed attempt's progress); interrupt, when non-nil, overrides the scan
+// configuration's interrupt channel (the supervisor passes its merged
+// operator∪watchdog channel); hook, when non-nil, observes every delivery
+// with the attempt's running count (the fault plan's crash injection
+// point); progress feeds the stall watchdog.
+func runShard(w *websim.World, cfg Config, v scanner.Vantage, vi, si int, r Range,
+	forceResume bool, interrupt <-chan struct{}, hook func(int64) error, progress *atomic.Int64) (*analysis.CampaignAccumulator, error) {
 	camp := analysis.NewCampaignAccumulator()
-	progress := cfg.Telemetry.Counter(telemetry.Name("shard_domains_total", "shard", strconv.Itoa(si)))
+	counter := cfg.Telemetry.Counter(telemetry.Name("shard_domains_total", "shard", strconv.Itoa(si)))
 	for _, week := range cfg.Weeks {
 		sc := cfg.ForWeek(week)
 		sc.Week = week
@@ -280,14 +375,23 @@ func runShard(w *websim.World, cfg Config, v scanner.Vantage, vi, si int, r Rang
 		if sc.Telemetry == nil {
 			sc.Telemetry = cfg.Telemetry
 		}
+		if interrupt != nil {
+			sc.Interrupt = interrupt
+		}
 		if cfg.Checkpoint != "" {
 			sc.Checkpoint = filepath.Join(cfg.Checkpoint, vantageDir(v, vi), fmt.Sprintf("shard-%03d", si))
-			sc.Resume = cfg.Resume
+			sc.Resume = cfg.Resume || forceResume
 		}
 		acc := camp.StartWeek(week, sc.IPv6, w.ASDB())
 		sink := cfg.Live.ShardSink(si, acc)
 		deliver := func(i int, d *scanner.DomainResult) error {
-			progress.Inc()
+			counter.Inc()
+			n := progress.Add(1)
+			if hook != nil {
+				if err := hook(n); err != nil {
+					return err
+				}
+			}
 			return sink(i, d)
 		}
 		if err := scanner.RunStream(w, sc, deliver); err != nil {
@@ -297,8 +401,9 @@ func runShard(w *websim.World, cfg Config, v scanner.Vantage, vi, si int, r Rang
 	return camp, nil
 }
 
-// mergeShards combines the per-shard campaigns in shard order over the
-// configured transport. Merging is associative and commutative (the
+// mergeShards combines the surviving per-shard campaigns in shard order
+// over the configured transport; lost shards (nil camps, unsubmitted
+// blobs) are skipped. Merging is associative and commutative (the
 // analysis merge laws), so the order is a convention, not a correctness
 // requirement.
 func mergeShards(cfg Config, w *websim.World, camps []*analysis.CampaignAccumulator, col *Collector) (*analysis.CampaignAccumulator, error) {
@@ -307,7 +412,7 @@ func mergeShards(cfg Config, w *websim.World, camps []*analysis.CampaignAccumula
 		if err != nil {
 			return nil, err
 		}
-		camps = make([]*analysis.CampaignAccumulator, len(blobs))
+		camps = make([]*analysis.CampaignAccumulator, len(camps))
 		for si, blob := range blobs {
 			if camps[si], err = analysis.UnmarshalCampaign(blob, w.ASDB()); err != nil {
 				return nil, fmt.Errorf("shard: decoding shard %d accumulator: %w", si, err)
@@ -315,6 +420,9 @@ func mergeShards(cfg Config, w *websim.World, camps []*analysis.CampaignAccumula
 		}
 	} else if cfg.Transport == TransportSerialized {
 		for si, camp := range camps {
+			if camp == nil {
+				continue
+			}
 			rt, err := analysis.UnmarshalCampaign(camp.Marshal(), w.ASDB())
 			if err != nil {
 				return nil, fmt.Errorf("shard: round-tripping shard %d accumulator: %w", si, err)
@@ -322,11 +430,21 @@ func mergeShards(cfg Config, w *websim.World, camps []*analysis.CampaignAccumula
 			camps[si] = rt
 		}
 	}
-	merged := camps[0]
-	for _, camp := range camps[1:] {
+	var merged *analysis.CampaignAccumulator
+	for _, camp := range camps {
+		if camp == nil {
+			continue
+		}
+		if merged == nil {
+			merged = camp
+			continue
+		}
 		if err := merged.Merge(camp); err != nil {
 			return nil, err
 		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("shard: every shard was lost; nothing to merge")
 	}
 	return merged, nil
 }

@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quicspin/internal/analysis"
+	"quicspin/internal/resilience"
+	"quicspin/internal/scanner"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/trace"
+	"quicspin/internal/udprun"
+)
+
+// fastBackoff keeps supervised restarts from slowing the tests down.
+var fastBackoff = resilience.RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Jitter: -1}
+
+// TestSupervisorRecoversCrash is the core supervision contract: a shard
+// worker that dies mid-scan is restarted from its checkpoint journal and
+// the campaign's rendered output is byte-identical to an undisturbed run.
+func TestSupervisorRecoversCrash(t *testing.T) {
+	w := fixture(t)
+	weeks := []int{1, 2}
+	golden, err := Run(w, Config{Shards: 2, Weeks: weeks, ForWeek: baseConfig(scanner.EngineFast, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := telemetry.New()
+	tracer := trace.New(trace.Config{})
+	live := analysis.NewLive(100, 4)
+	res, err := Run(w, Config{
+		Shards: 2, Weeks: weeks, ForWeek: baseConfig(scanner.EngineFast, 2),
+		Checkpoint: t.TempDir(), Telemetry: tm, Trace: tracer, Live: live,
+		MaxRestarts: 2, RestartBackoff: fastBackoff,
+		Faults: &FaultPlan{Crashes: []CrashSpec{{Vantage: -1, Shard: 1, After: 40, Kind: "error"}}},
+	})
+	if err != nil {
+		t.Fatalf("supervised campaign failed: %v", err)
+	}
+	cov := res.Vantages[0].Coverage
+	if !cov.Complete() {
+		t.Fatalf("coverage incomplete after recovery: %+v", cov)
+	}
+	if st := cov.Shards[1]; st.State != ShardRecovered || st.Restarts != 1 || len(st.Faults) != 1 {
+		t.Errorf("shard 1 status = %+v, want one recovered restart", st)
+	}
+	if st := cov.Shards[0]; st.State != ShardOK || st.Restarts != 0 {
+		t.Errorf("shard 0 status = %+v, want untouched", st)
+	}
+	if got, want := renderCampaign(res.Vantages[0].Campaign), renderCampaign(golden.Vantages[0].Campaign); got != want {
+		t.Error("recovered campaign differs from the undisturbed reference")
+	}
+	if c := tm.Counter("shard_restarts_total").Value(); c != 1 {
+		t.Errorf("shard_restarts_total = %d, want 1", c)
+	}
+	if c := tm.Counter("shard_lost_total").Value(); c != 0 {
+		t.Errorf("shard_lost_total = %d, want 0", c)
+	}
+	if snap := live.Snapshot(); snap.Restarts != 1 || len(snap.LostShards) != 0 {
+		t.Errorf("dashboard restarts=%d lost=%v, want 1 and none", snap.Restarts, snap.LostShards)
+	}
+	restartTrace := false
+	for _, tr := range tracer.Recent(0) {
+		if tr.Domain == "shard-001" && tr.Outcome == "restart" {
+			restartTrace = true
+		}
+	}
+	if !restartTrace {
+		t.Error("no restart trace recorded for shard 1")
+	}
+}
+
+// TestSupervisorRecoversPanicAndStall covers the other two failure modes:
+// an injected worker panic (contained at the delivery hook) and an
+// injected stall (killed by the watchdog), both twice in a row, both
+// recovered to byte-identical output.
+func TestSupervisorRecoversPanicAndStall(t *testing.T) {
+	w := fixture(t)
+	golden, err := Run(w, Config{Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"panic", "stall"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			tm := telemetry.New()
+			res, err := Run(w, Config{
+				Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+				Checkpoint: t.TempDir(), Telemetry: tm,
+				MaxRestarts: 3, RestartBackoff: fastBackoff,
+				StallTimeout: 150 * time.Millisecond,
+				Faults:       &FaultPlan{Crashes: []CrashSpec{{Vantage: -1, Shard: 0, After: 30, Times: 2, Kind: kind}}},
+			})
+			if err != nil {
+				t.Fatalf("%s campaign failed: %v", kind, err)
+			}
+			cov := res.Vantages[0].Coverage
+			if st := cov.Shards[0]; st.State != ShardRecovered || st.Restarts != 2 {
+				t.Errorf("shard 0 status = %+v, want recovery after 2 restarts", st)
+			}
+			if got, want := renderCampaign(res.Vantages[0].Campaign), renderCampaign(golden.Vantages[0].Campaign); got != want {
+				t.Errorf("%s-recovered campaign differs from the undisturbed reference", kind)
+			}
+			if c := tm.Counter("shard_restarts_total").Value(); c != 2 {
+				t.Errorf("shard_restarts_total = %d, want 2", c)
+			}
+		})
+	}
+}
+
+// TestShardLostDegradedMerge exhausts one shard's restart budget and
+// checks the degraded merge: the campaign completes with the surviving
+// shards, and the coverage accounting names the missing range exactly —
+// the merged tables equal a direct scan of the surviving ranges.
+func TestShardLostDegradedMerge(t *testing.T) {
+	w := fixture(t)
+	ranges := Plan(w.NumDomains(), 2)
+	for _, transport := range []Transport{TransportInProc, TransportUDP} {
+		transport := transport
+		t.Run(transport.String(), func(t *testing.T) {
+			tm := telemetry.New()
+			live := analysis.NewLive(100, 4)
+			res, err := Run(w, Config{
+				Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+				Transport: transport, Telemetry: tm, Live: live,
+				MaxRestarts: 1, RestartBackoff: fastBackoff,
+				Faults: &FaultPlan{Crashes: []CrashSpec{{Vantage: -1, Shard: 1, After: 20, Times: 99, Kind: "error"}}},
+			})
+			if err != nil {
+				t.Fatalf("degraded campaign failed outright: %v", err)
+			}
+			cov := res.Vantages[0].Coverage
+			if cov.Complete() {
+				t.Fatal("coverage claims completeness with a lost shard")
+			}
+			if st := cov.Shards[1]; st.State != ShardLost || st.Restarts != 1 || st.Err == nil {
+				t.Errorf("shard 1 status = %+v, want lost after 1 restart", st)
+			}
+			wantMissing := ranges[1].End - ranges[1].Start
+			if cov.TotalDomains != w.NumDomains() || cov.CoveredDomains != w.NumDomains()-wantMissing {
+				t.Errorf("coverage %d/%d, want %d/%d", cov.CoveredDomains, cov.TotalDomains, w.NumDomains()-wantMissing, w.NumDomains())
+			}
+			if len(cov.Missing) != 1 || cov.Missing[0] != ranges[1] {
+				t.Errorf("missing = %v, want [%v]", cov.Missing, ranges[1])
+			}
+			if ann := cov.Confidence("Table 1"); !strings.Contains(ann, "Table 1") {
+				t.Errorf("confidence annotation = %q", ann)
+			}
+			// The degraded tables must equal a direct scan of the surviving
+			// range — no partial data from the lost shard's attempts.
+			var progress atomic.Int64
+			refCfg := Config{Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2)}
+			ref, err := runShard(w, refCfg, scanner.Vantage{}, 0, 0, ranges[0], false, nil, nil, &progress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderCampaign(res.Vantages[0].Campaign), renderCampaign(ref); got != want {
+				t.Error("degraded merge differs from a direct scan of the surviving shard")
+			}
+			if c := tm.Counter("shard_lost_total").Value(); c != 1 {
+				t.Errorf("shard_lost_total = %d, want 1", c)
+			}
+			if snap := live.Snapshot(); len(snap.LostShards) != 1 || snap.LostShards[0] != 1 {
+				t.Errorf("dashboard lost shards = %v, want [1]", snap.LostShards)
+			}
+		})
+	}
+}
+
+// TestStrictShardsFailsFast pins the -strict-shards escape hatch: the same
+// lost-shard campaign aborts instead of merging.
+func TestStrictShardsFailsFast(t *testing.T) {
+	w := fixture(t)
+	_, err := Run(w, Config{
+		Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+		StrictShards: true, MaxRestarts: 1, RestartBackoff: fastBackoff,
+		Faults: &FaultPlan{Crashes: []CrashSpec{{Vantage: -1, Shard: 1, After: 20, Times: 99, Kind: "error"}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "strict mode") || !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("strict campaign = %v, want a strict-mode loss error naming shard 1", err)
+	}
+}
+
+// TestAllShardsLost checks the floor of degraded merging: when nothing
+// survives there is no campaign to report, strict or not.
+func TestAllShardsLost(t *testing.T) {
+	w := fixture(t)
+	_, err := Run(w, Config{
+		Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+		MaxRestarts: 0, RestartBackoff: fastBackoff,
+		Faults: &FaultPlan{Crashes: []CrashSpec{
+			{Vantage: -1, Shard: 0, After: 5, Times: 99, Kind: "error"},
+			{Vantage: -1, Shard: 1, After: 5, Times: 99, Kind: "error"},
+		}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "every shard was lost") {
+		t.Errorf("all-lost campaign = %v, want a nothing-to-merge error", err)
+	}
+}
+
+// TestSupervisorPassesInterruptThrough pins that supervision does not
+// swallow operator interrupts: InterruptAfter still surfaces
+// ErrInterrupted with a partial result, and the interrupt is not burned
+// as a restart attempt.
+func TestSupervisorPassesInterruptThrough(t *testing.T) {
+	w := fixture(t)
+	tm := telemetry.New()
+	interrupted := func(week int) scanner.Config {
+		sc := baseConfig(scanner.EngineFast, 2)(week)
+		sc.InterruptAfter = 40
+		return sc
+	}
+	res, err := Run(w, Config{
+		Shards: 2, Weeks: []int{1}, ForWeek: interrupted,
+		Checkpoint: t.TempDir(), Telemetry: tm,
+		MaxRestarts: 3, RestartBackoff: fastBackoff,
+	})
+	if !errors.Is(err, scanner.ErrInterrupted) {
+		t.Fatalf("interrupted campaign returned %v, want ErrInterrupted", err)
+	}
+	if res == nil || res.Vantages[0].Campaign == nil {
+		t.Fatal("interrupted campaign returned no partial result")
+	}
+	if c := tm.Counter("shard_restarts_total").Value(); c != 0 {
+		t.Errorf("interrupt consumed %d restart attempts", c)
+	}
+}
+
+// TestStallWatchdogKillsSilentWorker checks the watchdog end to end with
+// a stall that exceeds the budget: the shard is eventually lost with a
+// stall-flavoured fault record, not hung forever.
+func TestStallWatchdogKillsSilentWorker(t *testing.T) {
+	w := fixture(t)
+	tm := telemetry.New()
+	res, err := Run(w, Config{
+		Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+		Telemetry:   tm,
+		MaxRestarts: 1, RestartBackoff: fastBackoff,
+		StallTimeout: 120 * time.Millisecond,
+		Faults:       &FaultPlan{Crashes: []CrashSpec{{Vantage: -1, Shard: 0, After: 10, Times: 99, Kind: "stall"}}},
+	})
+	if err != nil {
+		t.Fatalf("campaign failed outright: %v", err)
+	}
+	st := res.Vantages[0].Coverage.Shards[0]
+	if st.State != ShardLost {
+		t.Fatalf("stalling shard = %+v, want lost", st)
+	}
+	if !strings.Contains(st.Err.Error(), "stall") {
+		t.Errorf("loss cause = %v, want a stall", st.Err)
+	}
+}
+
+// TestSupervisedUDPWithTransportFaults runs supervision and transport
+// fault injection together over the real UDP exchange — the integration
+// the chaos smoke in scripts/check.sh drives from the CLI.
+func TestSupervisedUDPWithTransportFaults(t *testing.T) {
+	w := fixture(t)
+	golden, err := Run(w, Config{Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := telemetry.New()
+	res, err := Run(w, Config{
+		Shards: 2, Weeks: []int{1}, ForWeek: baseConfig(scanner.EngineFast, 2),
+		Transport: TransportUDP, Checkpoint: t.TempDir(), Telemetry: tm,
+		MaxRestarts: 2, RestartBackoff: fastBackoff,
+		Faults: &FaultPlan{
+			Transport: udprun.FaultConfig{Seed: 5, Drop: 0.08, Dup: 0.08, Corrupt: 0.04, Delay: 0.08, MaxDelay: 3 * time.Millisecond},
+			Crashes:   []CrashSpec{{Vantage: -1, Shard: 1, After: 35, Kind: "error"}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("chaos campaign failed: %v", err)
+	}
+	if !res.Vantages[0].Coverage.Complete() {
+		t.Fatalf("chaos campaign lost shards: %+v", res.Vantages[0].Coverage)
+	}
+	if got, want := renderCampaign(res.Vantages[0].Campaign), renderCampaign(golden.Vantages[0].Campaign); got != want {
+		t.Error("chaos campaign differs from the undisturbed reference")
+	}
+}

@@ -246,6 +246,16 @@ func (r *Registry) SetHelp(base, help string) {
 	r.helps[base] = help
 }
 
+// Describe registers HELP strings for several metric families at once —
+// the batch form of SetHelp, for subsystems that contribute a family of
+// related metrics (the shard supervisor, the scanner). Empty values clear
+// entries, like SetHelp. No-op on a nil registry.
+func (r *Registry) Describe(help map[string]string) {
+	for base, text := range help {
+		r.SetHelp(base, text)
+	}
+}
+
 // helpTexts copies the HELP map for the exposition writer.
 func (r *Registry) helpTexts() map[string]string {
 	r.mu.RLock()

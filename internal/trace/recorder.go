@@ -22,6 +22,12 @@ type Tracer struct {
 	dumps   atomic.Int64
 }
 
+// SyntheticWorkerBase is the top of the recorder-id range reserved for
+// campaign-level event sources that are not scan workers (the shard
+// supervisor records restart events under SyntheticWorkerBase - shard).
+// Scan workers use ids >= 0; the two ranges never collide.
+const SyntheticWorkerBase = -1
+
 // New creates a Tracer. cfg zero values select defaults (see Config).
 func New(cfg Config) *Tracer {
 	return &Tracer{
@@ -228,6 +234,22 @@ func (r *Recorder) End(at time.Time, outcome string) {
 	r.closeOpenSpanAt(at)
 	r.cur.End = at
 	r.commit(outcome)
+}
+
+// Event records a complete zero-duration synthetic trace in one call:
+// Begin at `at`, the given key/value string attrs (pairs; a trailing odd
+// key is ignored), End with the outcome. It is how campaign-layer events
+// that never ran an engine — checkpoint replays, breaker skips,
+// supervisor restarts — enter the flight ring. Nil-safe.
+func (r *Recorder) Event(domain string, at time.Time, outcome string, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.Begin(domain, at)
+	for i := 0; i+1 < len(kv); i += 2 {
+		r.Attr(kv[i], kv[i+1])
+	}
+	r.End(at, outcome)
 }
 
 // Abort commits a partially built trace (panic unwound through the

@@ -1,0 +1,68 @@
+package udprun
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"net"
+)
+
+// datagramCRC is the CRC-32C table framing checksummed datagrams.
+var datagramCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumConn adds per-datagram integrity to a PacketConn: WriteTo
+// appends a CRC-32C trailer, ReadFrom verifies and strips it, silently
+// discarding datagrams that fail (corrupted in transit) or are too short
+// to carry a trailer (runts). A corrupted datagram thereby becomes a
+// lost datagram — the failure mode the QUIC-lite transport's loss
+// recovery already heals by retransmission — instead of mangled bytes
+// reaching the stream layer. This models what real deployments get from
+// UDP checksums and link-layer CRCs; the emulated scan path never sees
+// it because corruption there is not part of the model.
+//
+// Both peers of an exchange must wrap their sockets: the trailer is part
+// of the wire format, not an optional extra.
+type ChecksumConn struct {
+	net.PacketConn
+}
+
+// NewChecksumConn wraps pc with CRC-32C datagram framing. Wrap a
+// FaultConn inside (not outside) a ChecksumConn, so injected corruption
+// mangles the protected frame and is caught on receive.
+func NewChecksumConn(pc net.PacketConn) *ChecksumConn {
+	return &ChecksumConn{PacketConn: pc}
+}
+
+// WriteTo sends b with its CRC-32C trailer appended. The returned length
+// is in caller bytes (the trailer is accounting-invisible).
+func (c *ChecksumConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	framed := make([]byte, 0, len(b)+crc32.Size)
+	framed = append(framed, b...)
+	framed = binary.BigEndian.AppendUint32(framed, crc32.Checksum(b, datagramCRC))
+	n, err := c.PacketConn.WriteTo(framed, addr)
+	if n > len(b) {
+		n = len(b)
+	}
+	return n, err
+}
+
+// ReadFrom returns the next datagram whose trailer verifies, stripped of
+// the trailer. Corrupt and runt datagrams are dropped and the read
+// continues; deadlines on the underlying conn still apply and surface as
+// errors.
+func (c *ChecksumConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	buf := make([]byte, len(p)+crc32.Size)
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(buf)
+		if err != nil {
+			return 0, addr, err
+		}
+		if n < crc32.Size {
+			continue // runt: cannot carry a trailer
+		}
+		body := buf[:n-crc32.Size]
+		if crc32.Checksum(body, datagramCRC) != binary.BigEndian.Uint32(buf[n-crc32.Size:n]) {
+			continue // corrupted in transit: treat as lost
+		}
+		return copy(p, body), addr, nil
+	}
+}

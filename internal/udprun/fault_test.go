@@ -1,0 +1,138 @@
+package udprun
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// faultPair returns a fault-wrapped sender and a plain receiver on
+// loopback UDP.
+func faultPair(t *testing.T, cfg FaultConfig) (*FaultConn, net.PacketConn, net.Addr) {
+	t.Helper()
+	recv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		recv.Close()
+		t.Fatal(err)
+	}
+	fc := NewFaultConn(send, cfg)
+	t.Cleanup(func() { send.Close(); recv.Close() })
+	return fc, recv, recv.LocalAddr()
+}
+
+// collect reads datagrams until the deadline and returns them.
+func collect(t *testing.T, pc net.PacketConn, deadline time.Duration) [][]byte {
+	t.Helper()
+	var out [][]byte
+	buf := make([]byte, 2048)
+	end := time.Now().Add(deadline)
+	for {
+		pc.SetReadDeadline(end)
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return out
+		}
+		out = append(out, append([]byte(nil), buf[:n]...))
+	}
+}
+
+func TestFaultConnDrop(t *testing.T) {
+	fc, recv, addr := faultPair(t, FaultConfig{Seed: 1, Drop: 1})
+	for i := 0; i < 5; i++ {
+		if _, err := fc.WriteTo([]byte("doomed"), addr); err != nil {
+			t.Fatalf("dropped write reported error: %v", err)
+		}
+	}
+	if got := collect(t, recv, 100*time.Millisecond); len(got) != 0 {
+		t.Errorf("Drop=1 delivered %d datagrams", len(got))
+	}
+	if st := fc.Stats(); st.Dropped != 5 || st.Sent != 5 {
+		t.Errorf("stats = %+v, want 5 sent / 5 dropped", st)
+	}
+}
+
+func TestFaultConnDuplicate(t *testing.T) {
+	fc, recv, addr := faultPair(t, FaultConfig{Seed: 2, Dup: 1})
+	if _, err := fc.WriteTo([]byte("twice"), addr); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, recv, 200*time.Millisecond)
+	if len(got) != 2 || !bytes.Equal(got[0], got[1]) {
+		t.Fatalf("Dup=1 delivered %d datagrams, want 2 identical", len(got))
+	}
+	if st := fc.Stats(); st.Duplicated != 1 {
+		t.Errorf("stats = %+v, want 1 duplicated", st)
+	}
+}
+
+func TestFaultConnCorruptFlipsExactlyOneBit(t *testing.T) {
+	fc, recv, addr := faultPair(t, FaultConfig{Seed: 3, Corrupt: 1})
+	orig := []byte("payload-payload-payload")
+	if _, err := fc.WriteTo(orig, addr); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, recv, 200*time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(got))
+	}
+	if len(got[0]) != len(orig) {
+		t.Fatalf("corrupted datagram changed length: %d -> %d", len(orig), len(got[0]))
+	}
+	flipped := 0
+	for i := range orig {
+		diff := orig[i] ^ got[0][i]
+		for ; diff != 0; diff &= diff - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", flipped)
+	}
+	// The caller's buffer must stay untouched (corruption copies).
+	if !bytes.Equal(orig, []byte("payload-payload-payload")) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+}
+
+func TestFaultConnDelayReorders(t *testing.T) {
+	fc, recv, addr := faultPair(t, FaultConfig{Seed: 4, Delay: 1, MaxDelay: 50 * time.Millisecond})
+	if _, err := fc.WriteTo([]byte("held"), addr); err != nil {
+		t.Fatal(err)
+	}
+	// The second datagram bypasses the fault conn entirely, so it must
+	// overtake the held-back first one.
+	direct, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if _, err := direct.WriteTo([]byte("prompt"), addr); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, recv, 300*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(got))
+	}
+	if string(got[0]) != "prompt" || string(got[1]) != "held" {
+		t.Errorf("delivery order = %q, %q; want prompt before held", got[0], got[1])
+	}
+	if st := fc.Stats(); st.Delayed != 1 {
+		t.Errorf("stats = %+v, want 1 delayed", st)
+	}
+}
+
+func TestFaultConfigEnabled(t *testing.T) {
+	if (FaultConfig{}).Enabled() {
+		t.Error("zero FaultConfig reports enabled")
+	}
+	for _, c := range []FaultConfig{{Drop: 0.1}, {Dup: 0.1}, {Corrupt: 0.1}, {Delay: 0.1}} {
+		if !c.Enabled() {
+			t.Errorf("%+v reports disabled", c)
+		}
+	}
+}

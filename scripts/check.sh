@@ -71,6 +71,7 @@ fuzz_smoke ./internal/wire FuzzLongHeader
 fuzz_smoke ./internal/qlog FuzzQlogParse
 fuzz_smoke ./internal/h3 FuzzH3Request
 fuzz_smoke ./internal/analysis FuzzAccumulatorUnmarshal
+fuzz_smoke ./internal/shard FuzzSubmissionFrame
 
 # Interrupt-and-resume smoke: SIGKILL a real spinscan campaign mid-run,
 # resume it from the checkpoint journal, and require the rendered tables to
@@ -137,6 +138,27 @@ wait "$shard_pid" 2>/dev/null || true
     2>/dev/null >"$tmp/shard-resumed.txt"
 if ! diff -u "$tmp/shard-reference.txt" "$tmp/shard-resumed.txt"; then
     echo "resumed sharded tables differ from the uninterrupted reference" >&2
+    exit 1
+fi
+
+# Shard chaos smoke: run a sharded UDP campaign with the full fault plan —
+# a scripted worker crash recovered from the checkpoint journal plus
+# datagram drop/duplication/corruption/delay on the accumulator exchange —
+# and require the rendered tables to be byte-identical to the fault-free
+# sharded reference above. The supervisor must log the restart, proving
+# the injected crash actually fired.
+echo "== shard chaos smoke"
+"$tmp/spinscan" $shard_flags -shard-transport udp -checkpoint "$tmp/chaos-ckpt" \
+    -shard-faults "seed:3,drop:0.05,dup:0.05,corrupt:0.02,delay:0.05,max-delay:2ms,crash:1@40" \
+    2>"$tmp/chaos.log" >"$tmp/chaos.txt"
+if ! diff -u "$tmp/shard-reference.txt" "$tmp/chaos.txt"; then
+    echo "chaos-run tables differ from the fault-free sharded reference" >&2
+    cat "$tmp/chaos.log" >&2
+    exit 1
+fi
+if ! grep -q "restarting from journal" "$tmp/chaos.log"; then
+    echo "chaos run never restarted a shard (injected crash did not fire):" >&2
+    cat "$tmp/chaos.log" >&2
     exit 1
 fi
 
