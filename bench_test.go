@@ -23,6 +23,7 @@ import (
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/core"
+	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/shard"
 	"quicspin/internal/websim"
@@ -306,6 +307,40 @@ func BenchmarkCampaignSharded(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(w.Domains))/elapsed, "domains/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignJournal measures the checkpoint journal's cost on the
+// scan hot path: the same one-week fast-engine campaign writing every
+// domain to a journal, without and with aggressive segment rotation
+// (64 KiB segments force rotations throughout the run). scripts/bench.sh
+// gates the pair self-relatively — the rotating run must stay within a
+// constant factor of the non-rotating one, proving rotation happens off
+// the hot path — while the unjournaled hot path itself is gated against
+// BENCH_PR5.json by BenchmarkCampaign above.
+func BenchmarkCampaignJournal(b *testing.B) {
+	prof := websim.DefaultProfile()
+	prof.Scale = benchScale()
+	w := websim.Generate(prof)
+	for _, c := range []struct {
+		name string
+		seg  int64
+	}{{"journal", 0}, {"journal-rotate", 64 << 10}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				mustRun(w, scanner.Config{
+					Week: 12, Engine: scanner.EngineFast, Seed: 99, Workers: 4,
+					Checkpoint: b.TempDir(),
+					Journal:    resilience.JournalConfig{SegmentBytes: c.seg},
+				})
 			}
 			elapsed := time.Since(start).Seconds()
 			if elapsed > 0 {

@@ -13,9 +13,11 @@ import (
 // where op is `<=` (ceiling) or `>=` (floor) and the quantities are
 // derived from the campaign's telemetry snapshot:
 //
-//	error-rate       failed / attempted connections (ceiling, typically)
-//	domains-per-sec  campaign throughput gauge (floor)
-//	spin-share       spin-flipping / succeeded connections (floor)
+//	error-rate           failed / attempted connections (ceiling, typically)
+//	domains-per-sec      campaign throughput gauge (floor)
+//	spin-share           spin-flipping / succeeded connections (floor)
+//	checkpoint-degraded  the scan_checkpoint_degraded gauge (ceiling of 0:
+//	                     fires while the journal has disabled itself)
 //
 // An empty spec returns a nil engine (every AlertEngine method is a
 // nil-safe no-op, so callers wire it unconditionally).
@@ -23,7 +25,23 @@ func parseAlerts(spec string, reg *telemetry.Registry, logf func(string, ...any)
 	if spec == "" {
 		return nil, nil
 	}
+	rules, err := parseAlertRules(spec)
+	if err != nil {
+		return nil, err
+	}
 	eng := telemetry.NewAlertEngine(reg, logf)
+	for _, r := range rules {
+		eng.AddRule(r)
+	}
+	return eng, nil
+}
+
+// parseAlertRules parses an -alerts spec into rules without touching a
+// registry — shared by the initial flag parse and the SIGHUP tunables
+// reload (which swaps them in with ReplaceRules). An empty spec is an
+// empty rule set.
+func parseAlertRules(spec string) ([]telemetry.Rule, error) {
+	var rules []telemetry.Rule
 	for _, term := range strings.Split(spec, ",") {
 		term = strings.TrimSpace(term)
 		if term == "" {
@@ -43,11 +61,11 @@ func parseAlerts(spec string, reg *telemetry.Registry, logf func(string, ...any)
 		}
 		value := alertQuantity(name)
 		if value == nil {
-			return nil, fmt.Errorf("term %q: unknown quantity %q (have error-rate, domains-per-sec, spin-share)", term, name)
+			return nil, fmt.Errorf("term %q: unknown quantity %q (have error-rate, domains-per-sec, spin-share, checkpoint-degraded)", term, name)
 		}
-		eng.AddRule(telemetry.Rule{Name: name, Value: value, Op: op, Threshold: threshold})
+		rules = append(rules, telemetry.Rule{Name: name, Value: value, Op: op, Threshold: threshold})
 	}
-	return eng, nil
+	return rules, nil
 }
 
 // alertQuantity maps a spec name to its snapshot measurement; nil for
@@ -71,6 +89,10 @@ func alertQuantity(name string) func(*telemetry.Snapshot) float64 {
 	case "domains-per-sec":
 		return func(s *telemetry.Snapshot) float64 {
 			return float64(s.Gauges["scan_domains_per_sec"])
+		}
+	case "checkpoint-degraded":
+		return func(s *telemetry.Snapshot) float64 {
+			return float64(s.Gauges["scan_checkpoint_degraded"])
 		}
 	case "spin-share":
 		return func(s *telemetry.Snapshot) float64 {

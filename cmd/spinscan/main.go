@@ -23,11 +23,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/asdb"
+	"quicspin/internal/campaign"
 	"quicspin/internal/conformance"
 	"quicspin/internal/report"
 	"quicspin/internal/resilience"
@@ -73,6 +76,18 @@ func main() {
 	shardStall := flag.Duration("shard-stall-timeout", 0, "kill and restart a shard worker that delivers nothing for this long (0 disables the stall watchdog)")
 	strictShards := flag.Bool("strict-shards", false, "abort the campaign when any shard exhausts its restart budget instead of merging the survivors with a coverage report")
 	shardFaults := flag.String("shard-faults", "", `chaos-test fault plan, e.g. "seed:3,drop:0.1,corrupt:0.05,crash:1@40" (drop/dup/corrupt/delay:P, max-delay:DUR, crash|panic|stall:SHARD@DOMAINS[xTIMES])`)
+	followMode := flag.Bool("follow", false, "continuous campaign service: scan week after week through the streaming pipeline (bound with -follow-weeks, stop with SIGINT/SIGTERM)")
+	followWeeks := flag.Int("follow-weeks", 0, "stop -follow after this many weeks (0 = run until signalled; -weeks is an alias when set)")
+	followInterval := flag.Duration("follow-interval", 0, "pause between consecutive -follow weeks (interruptible; 0 = back to back)")
+	weekRestarts := flag.Int("week-restarts", 0, "per-week retry budget in -follow mode: failed weeks are retried from the journal this many times (0 = 2)")
+	retainWeeks := flag.Int("journal-retain-weeks", 0, "in -follow mode, prune -checkpoint records older than the last N weeks during between-week compaction (0 keeps all)")
+	journalCompact := flag.Bool("journal-compact", false, "in -follow mode, compact the -checkpoint journal after every completed week (implied by -journal-retain-weeks)")
+	journalSync := flag.Int("journal-sync", 0, "fsync the checkpoint journal every N records (0 = only on rotation and close; 1 = every record)")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 0, "rotate checkpoint journal segments past this size (0 disables size-based rotation)")
+	storageFaults := flag.String("storage-faults", "", `inject checkpoint storage faults, e.g. "seed:7,short-write:0.1,write-err:0.2,sync-err:0.1,rename-err:0.05,open-err:0.05"`)
+	tunablesPath := flag.String("tunables", "", "runtime tunables file (alerts, progress, breaker-threshold, breaker-cooldown); SIGHUP reloads it without restart")
+	liveWindows := flag.Int("live-max-windows", 0, "cap the live dashboard's closed rolling windows (0 = keep all)")
+	liveBytes := flag.Int64("live-max-bytes", 0, "cap the live dashboard's rolling-window memory in bytes (0 = unbounded)")
 	flag.Parse()
 
 	// The scale is a population divisor; zero or negative values would
@@ -109,6 +124,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("-alerts: %v", err)
 	}
+	if alerts == nil && *tunablesPath != "" {
+		// A tunables reload may introduce alert rules later, and a nil
+		// engine cannot grow them — service mode wires an empty one up
+		// front.
+		alerts = telemetry.NewAlertEngine(reg, log.Printf)
+	}
 
 	first, last := *week, *week
 	if *weeks > 0 {
@@ -124,40 +145,76 @@ func main() {
 		Breaker:    resilience.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
+		Journal: resilience.JournalConfig{
+			SyncEvery:    *journalSync,
+			SegmentBytes: *journalSegBytes,
+		},
+	}
+	if *storageFaults != "" {
+		plan, err := resilience.ParseStorageFaultPlan(*storageFaults)
+		if err != nil {
+			log.Fatalf("-storage-faults: %v", err)
+		}
+		baseCfg.Journal.FS = resilience.NewFaultFS(nil, *plan)
+		log.Printf("storage fault injection armed: %s", *storageFaults)
 	}
 	if err := baseCfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
 	// First SIGINT/SIGTERM stops the campaign gracefully (completed domains
-	// stay in the -checkpoint journal); a second one kills the process.
+	// stay in the -checkpoint journal); a second one kills the process. The
+	// exit code records which signal stopped us — 130 for SIGINT, 143 for
+	// SIGTERM (128+signal, the shell convention) — so a supervisor can tell
+	// an operator's ^C from its own orchestrated stop.
 	interrupt := make(chan struct{})
+	var sigCode atomic.Int32
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sigCh
-		log.Printf("interrupt: stopping after in-flight domains (press again to abort)")
+		s := <-sigCh
+		sigCode.Store(int32(exitCodeFor(s)))
+		log.Printf("%v: stopping after in-flight domains (press again to abort)", s)
 		close(interrupt)
-		<-sigCh
-		os.Exit(130)
+		s = <-sigCh
+		os.Exit(exitCodeFor(s))
 	}()
 	baseCfg.Interrupt = interrupt
+	exitInterrupted := func() {
+		if code := int(sigCode.Load()); code != 0 {
+			os.Exit(code)
+		}
+		os.Exit(130)
+	}
 
 	// The live dashboard rides on the streaming sink; it stays nil (a
 	// valid no-op sink wrapper) without a debug endpoint to serve it.
+	// Liveness (/livez) is the process answering; readiness (/readyz) flips
+	// to 503 while the checkpoint journal is degraded — scanning continues,
+	// but a supervisor should know checkpoints are suspended.
 	var live *analysis.Live
+	health := telemetry.NewHealth()
+	health.AddCheck("checkpoint", func() (bool, string) {
+		if reg.Gauge("scan_checkpoint_degraded").Value() != 0 {
+			return false, "checkpoint journal degraded after storage failures (scanning continues; checkpoints suspended)"
+		}
+		return true, ""
+	})
 	if *debugAddr != "" {
 		live = analysis.NewLive(0, 0)
+		live.SetBudget(*liveWindows, *liveBytes)
 		dbg, err := telemetry.StartDebugServer(*debugAddr, reg,
 			telemetry.Endpoint{Path: "/debug/campaign", Handler: live.Handler()},
 			telemetry.Endpoint{Path: "/debug/traces", Handler: trace.Handler(tracer)},
 			telemetry.Endpoint{Path: "/debug/alerts", Handler: alerts.Handler()},
+			telemetry.Endpoint{Path: "/livez", Handler: health.LiveHandler()},
+			telemetry.Endpoint{Path: "/readyz", Handler: health.ReadyHandler()},
 		)
 		if err != nil {
 			log.Fatalf("debug-addr: %v", err)
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoint on http://%s (/metrics, /snapshot, /debug/campaign, /debug/traces, /debug/alerts, /debug/pprof/)", dbg.Addr())
+		log.Printf("debug endpoint on http://%s (/metrics, /snapshot, /livez, /readyz, /debug/campaign, /debug/traces, /debug/alerts, /debug/pprof/)", dbg.Addr())
 	}
 
 	prof := websim.DefaultProfile()
@@ -198,7 +255,63 @@ func main() {
 	}
 	reg.Gauge("spinscan_workers_total").Set(int64(nw))
 
-	stopProgress := startProgress(reg, *progressEvery, log.Printf, alerts)
+	stopProgress, setProgress := startProgress(reg, *progressEvery, log.Printf, alerts)
+
+	// Runtime tunables: loaded at startup when -tunables is given, reloaded
+	// on SIGHUP. Alerts and the progress cadence apply immediately; breaker
+	// settings are staged here and applied by follow mode at the next week
+	// boundary (a scan in flight is never reconfigured).
+	var tunMu sync.Mutex
+	var breakerOverride campaign.Tunables
+	applyTunables := func(t *campaign.Tunables, origin string) error {
+		if t.HasAlerts {
+			rules, err := parseAlertRules(t.Alerts)
+			if err != nil {
+				return fmt.Errorf("alerts: %v", err)
+			}
+			alerts.ReplaceRules(rules)
+			log.Printf("tunables(%s): %d alert rule(s) active", origin, len(rules))
+		}
+		if t.HasProgress {
+			setProgress(t.Progress)
+			log.Printf("tunables(%s): progress interval -> %v", origin, t.Progress)
+		}
+		if t.HasBreakerThreshold || t.HasBreakerCooldown {
+			tunMu.Lock()
+			if t.HasBreakerThreshold {
+				breakerOverride.BreakerThreshold, breakerOverride.HasBreakerThreshold = t.BreakerThreshold, true
+			}
+			if t.HasBreakerCooldown {
+				breakerOverride.BreakerCooldown, breakerOverride.HasBreakerCooldown = t.BreakerCooldown, true
+			}
+			tunMu.Unlock()
+			log.Printf("tunables(%s): breaker settings staged (applied at the next week boundary)", origin)
+		}
+		return nil
+	}
+	if *tunablesPath != "" {
+		t, err := campaign.LoadTunables(*tunablesPath)
+		if err != nil {
+			log.Fatalf("-tunables: %v", err)
+		}
+		if err := applyTunables(t, "startup"); err != nil {
+			log.Fatalf("-tunables: %v", err)
+		}
+		hupCh := make(chan os.Signal, 1)
+		signal.Notify(hupCh, syscall.SIGHUP)
+		go func() {
+			for range hupCh {
+				t, err := campaign.LoadTunables(*tunablesPath)
+				if err != nil {
+					log.Printf("tunables reload: %v (keeping previous settings)", err)
+					continue
+				}
+				if err := applyTunables(t, "SIGHUP"); err != nil {
+					log.Printf("tunables reload: %v (keeping previous settings)", err)
+				}
+			}
+		}()
+	}
 	// With -stream (and no qlog output, which needs materialised results)
 	// each domain flows straight into the incremental aggregators and is
 	// dropped — memory stays bounded by the aggregate state, not the
@@ -273,17 +386,79 @@ func main() {
 			} else {
 				log.Printf("campaign interrupted (no -checkpoint journal; a rerun starts from scratch)")
 			}
-			os.Exit(130)
+			exitInterrupted()
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		camp = shardRes.Vantages[0].Campaign
 	}
+	if *followMode {
+		// Follow mode: the continuous campaign service. Weeks run back to
+		// back (or -follow-interval apart) through the same streaming path,
+		// journal and seed derivation as the one-shot loop, so a follow
+		// campaign stopped after N weeks is byte-identical to -weeks N.
+		if !streamSummary {
+			log.Fatalf("-follow requires the streaming pipeline (-stream and no -qlog-dir)")
+		}
+		if *shards > 0 || *vantagesSpec != "" {
+			log.Fatalf("-follow is a single-process service; use -shards/-vantages without -follow for distributed scan-out")
+		}
+		if *followWeeks == 0 && *weeks > 0 {
+			*followWeeks = *weeks
+		}
+		if *followWeeks > 0 {
+			log.Printf("follow mode: weeks 1-%d (%s engine)...", *followWeeks, *engine)
+		} else {
+			log.Printf("follow mode: continuous campaign from week 1 (%s engine; stop with SIGINT/SIGTERM)...", *engine)
+		}
+		fres, ferr := campaign.Follow(campaign.Config{
+			World:        world,
+			Base:         baseCfg,
+			SeedBase:     prof.Seed,
+			StartWeek:    1,
+			MaxWeeks:     *followWeeks,
+			Interval:     *followInterval,
+			Live:         live,
+			WeekRestarts: *weekRestarts,
+			RetainWeeks:  *retainWeeks,
+			Compact:      *journalCompact || *retainWeeks > 0,
+			Reconfigure: func(cfg *scanner.Config) {
+				tunMu.Lock()
+				defer tunMu.Unlock()
+				if breakerOverride.HasBreakerThreshold {
+					cfg.Breaker.Threshold = breakerOverride.BreakerThreshold
+				}
+				if breakerOverride.HasBreakerCooldown {
+					cfg.Breaker.Cooldown = breakerOverride.BreakerCooldown
+				}
+			},
+			OnWeek: func(wk int, _ *analysis.CampaignAccumulator) {
+				log.Printf("week %d complete", wk)
+			},
+			Logf: log.Printf,
+		})
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		camp = fres.Campaign
+		if fres.Interrupted {
+			stopProgress()
+			if *checkpoint != "" {
+				log.Printf("follow campaign interrupted after %d completed week(s); resume with: spinscan -follow -checkpoint %s -resume (plus the original flags)",
+					fres.WeeksDone, *checkpoint)
+			} else {
+				log.Printf("follow campaign interrupted after %d completed week(s) (no -checkpoint journal; a rerun starts from scratch)", fres.WeeksDone)
+			}
+			exitInterrupted()
+		}
+		log.Printf("follow campaign done: %d week(s), %d restart(s), compaction kept %d of %d record(s)",
+			fres.WeeksDone, fres.Restarts, fres.Compactions.Kept, fres.Compactions.Records)
+	}
 	if streamSummary && camp == nil {
 		camp = analysis.NewCampaignAccumulator()
 	}
-	for wk := first; shardRes == nil && wk <= last; wk++ {
+	for wk := first; shardRes == nil && !*followMode && wk <= last; wk++ {
 		log.Printf("scanning week %d (%s, ipv6=%v)...", wk, *engine, *ipv6)
 		cfg := baseCfg
 		cfg.Week = wk
@@ -314,7 +489,7 @@ func main() {
 			} else {
 				log.Printf("campaign interrupted (no -checkpoint journal; a rerun starts from scratch)")
 			}
-			os.Exit(130)
+			exitInterrupted()
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -377,6 +552,15 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(accuracy)
+}
+
+// exitCodeFor maps a stopping signal to the conventional 128+signal exit
+// code: 130 for SIGINT, 143 for SIGTERM.
+func exitCodeFor(s os.Signal) int {
+	if s == syscall.SIGTERM {
+		return 143
+	}
+	return 130
 }
 
 // parseVantages parses the -vantages flag: comma-separated vantage specs of

@@ -114,7 +114,7 @@ func TestStartProgressEmitsAndStops(t *testing.T) {
 	reg := telemetry.New()
 	reg.Counter("spinscan_conns_attempted_total").Add(10)
 	var lines []string
-	stop := startProgress(reg, 10*time.Millisecond, func(format string, args ...any) {
+	stop, _ := startProgress(reg, 10*time.Millisecond, func(format string, args ...any) {
 		lines = append(lines, fmt.Sprintf(format, args...))
 	}, nil)
 	time.Sleep(35 * time.Millisecond)
@@ -123,7 +123,44 @@ func TestStartProgressEmitsAndStops(t *testing.T) {
 		t.Fatal("no progress lines emitted")
 	}
 	// Disabled reporter: stop must be a safe no-op.
-	startProgress(reg, 0, func(string, ...any) { t.Error("disabled reporter emitted") }, nil)()
+	stopOff, _ := startProgress(reg, 0, func(string, ...any) { t.Error("disabled reporter emitted") }, nil)
+	stopOff()
+}
+
+// TestStartProgressRetune drives the SIGHUP tunables path: a reporter
+// started paused is enabled at runtime, then paused again.
+func TestStartProgressRetune(t *testing.T) {
+	reg := telemetry.New()
+	ch := make(chan string, 64)
+	stop, setEvery := startProgress(reg, 0, func(format string, args ...any) {
+		ch <- fmt.Sprintf(format, args...)
+	}, nil)
+	defer stop()
+
+	setEvery(5 * time.Millisecond)
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no progress line after enabling a paused reporter")
+	}
+
+	setEvery(0)
+	// Drain whatever was in flight while the pause landed, then confirm
+	// silence.
+	deadline := time.After(50 * time.Millisecond)
+drain:
+	for {
+		select {
+		case <-ch:
+		case <-deadline:
+			break drain
+		}
+	}
+	select {
+	case line := <-ch:
+		t.Fatalf("paused reporter emitted %q", line)
+	case <-time.After(30 * time.Millisecond):
+	}
 }
 
 // TestParseAlerts covers the -alerts spec grammar.

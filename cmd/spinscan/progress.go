@@ -18,14 +18,14 @@ import (
 // Each tick also evaluates the alert engine (nil disables alerting; the
 // engine logs its own transition lines) and appends any firing alerts to
 // the progress line. The returned stop function prints one final line and
-// stops the ticker. A zero interval disables reporting (stop is then a
-// no-op).
-func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(string, ...any), alerts *telemetry.AlertEngine) (stop func()) {
-	if interval <= 0 {
-		return func() {}
-	}
+// stops the ticker; setInterval retunes the cadence at runtime (the SIGHUP
+// tunables-reload path) — zero pauses reporting until a later reload
+// re-enables it. A zero initial interval starts paused (stop then prints
+// nothing).
+func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(string, ...any), alerts *telemetry.AlertEngine) (stop func(), setInterval func(time.Duration)) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	reconf := make(chan time.Duration, 1)
 	report := func(prev telemetry.Snapshot, dt time.Duration) telemetry.Snapshot {
 		cur := reg.Snapshot()
 		line := progressLine(cur, prev, dt)
@@ -37,26 +37,56 @@ func startProgress(reg *telemetry.Registry, interval time.Duration, printf func(
 	}
 	go func() {
 		defer close(finished)
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
+		var tick *time.Ticker
+		var tickC <-chan time.Time
+		retune := func(d time.Duration) {
+			if tick != nil {
+				tick.Stop()
+				tick, tickC = nil, nil
+			}
+			if d > 0 {
+				tick = time.NewTicker(d)
+				tickC = tick.C
+			}
+		}
+		retune(interval)
+		defer retune(0)
 		prev := reg.Snapshot()
 		prevT := time.Now()
 		for {
 			select {
 			case <-done:
-				report(prev, time.Since(prevT))
+				if tickC != nil {
+					report(prev, time.Since(prevT))
+				}
 				return
-			case <-tick.C:
+			case d := <-reconf:
+				retune(d)
+				prev = reg.Snapshot()
+				prevT = time.Now()
+			case <-tickC:
 				now := time.Now()
 				prev = report(prev, now.Sub(prevT))
 				prevT = now
 			}
 		}
 	}()
-	return func() {
+	stop = func() {
 		close(done)
 		<-finished
 	}
+	setInterval = func(d time.Duration) {
+		// Coalesce: only the latest retune matters.
+		select {
+		case <-reconf:
+		default:
+		}
+		select {
+		case reconf <- d:
+		case <-finished:
+		}
+	}
+	return stop, setInterval
 }
 
 // progressLine renders one live campaign status line from the current

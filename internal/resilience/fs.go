@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the checkpoint journal writes through. It
+// exists so every journal code path — appends, fsync, rotation, compaction
+// renames — can be chaos-tested against injected storage faults (short
+// writes, ENOSPC, EIO, fsync failure, torn renames) the same way the shard
+// layer chaos-tests the UDP transport. Production code uses OSFS; tests
+// wrap it in a FaultFS.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending, creating it when missing.
+	OpenAppend(path string) (File, error)
+	// Create truncates or creates path for writing (compaction staging).
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// ReadDir returns the names (not paths) of dir's regular files, sorted.
+	// A missing directory returns an empty slice, not an error.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+}
+
+// File is one journal file handle: sequential writes, explicit durability.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (osFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// fsOrOS returns fs, defaulting to the real filesystem.
+func fsOrOS(fs FS) FS {
+	if fs == nil {
+		return OSFS
+	}
+	return fs
+}
+
+// joinPath is filepath.Join, aliased so journal code reads uniformly.
+func joinPath(dir, name string) string { return filepath.Join(dir, name) }

@@ -314,7 +314,7 @@ func TestJournalReplayTornLine(t *testing.T) {
 	}
 	// Simulate a SIGKILL mid-write: append a truncated record with no
 	// trailing newline, plus a garbage line in a second shard.
-	f, err := os.OpenFile(shardPath(dir, 0), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(0, 1)), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestJournalReplayTornLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := os.WriteFile(shardPath(dir, 1), []byte("not json at all\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1, 2)), []byte("not json at all\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 

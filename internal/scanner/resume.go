@@ -22,12 +22,12 @@ func openCheckpoint(cfg Config) (*resilience.Journal, map[string]json.RawMessage
 		var err error
 		// Torn lines (a SIGKILL mid-append) are silently skipped: the
 		// affected domains are simply rescanned, deterministically.
-		replayed, _, err = resilience.Replay(cfg.Checkpoint)
+		replayed, _, err = resilience.ReplayFS(cfg.Journal.FS, cfg.Checkpoint)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	journal, err := resilience.OpenJournal(cfg.Checkpoint)
+	journal, err := resilience.OpenJournalWith(cfg.Checkpoint, cfg.Journal)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -102,6 +102,11 @@ type Config struct {
 	// sharded JSONL files under this directory so an interrupted campaign
 	// can resume.
 	Checkpoint string
+	// Journal tunes the checkpoint journal's storage behaviour (fsync
+	// cadence, segment rotation, degraded-mode thresholds, injected
+	// filesystem). The zero value is the legacy profile; ignored without
+	// Checkpoint.
+	Journal resilience.JournalConfig
 	// Resume replays an existing Checkpoint journal before scanning and
 	// skips the domains it already covers; the merged Result is
 	// byte-identical to an uninterrupted run.

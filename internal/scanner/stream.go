@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -136,8 +137,25 @@ func (c *campaign) close() {
 		close(c.stopWatch)
 	}
 	if c.journal != nil {
-		c.journal.Close()
+		if err := c.journal.Close(); err != nil {
+			// A failed close means the journal tail may not be durable:
+			// count it and raise the degraded gauge like any other
+			// checkpoint storage failure.
+			c.tm.checkpointErrors.Inc()
+		}
+		st := c.journal.Stats()
+		c.tm.checkpointDegraded.Set(boolGauge(st.Degraded))
+		c.tm.journalRotations.Set(st.Rotations)
+		c.tm.journalSkipped.Set(st.Skipped)
 	}
+}
+
+// boolGauge maps a boolean state onto a 0/1 gauge value.
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // scanStep executes one domain end to end: breaker acquisition, checkpoint
@@ -209,8 +227,15 @@ func (c *campaign) scanStep(eng *engine, shard int, rec *trace.Recorder, d *webs
 	c.tm.recordDomain(&res)
 	if c.journal != nil && !fromCheckpoint {
 		if err := c.journal.Append(shard, checkpointKey(c.cfg, d.Name), &res); err != nil {
-			c.tm.checkpointErrors.Inc()
+			// Checkpointing is an optimisation: count the failure, surface
+			// the degraded state, keep scanning. Degraded fast-fails are
+			// tallied separately (journal_appends_skipped) so the error
+			// counter tracks real storage failures.
+			if !errors.Is(err, resilience.ErrJournalDegraded) {
+				c.tm.checkpointErrors.Inc()
+			}
 		}
+		c.tm.checkpointDegraded.Set(boolGauge(c.journal.Degraded()))
 	}
 	if n := c.completed.Add(1); c.cfg.InterruptAfter > 0 && n >= c.cfg.InterruptAfter {
 		c.interrupt()

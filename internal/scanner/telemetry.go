@@ -35,6 +35,11 @@ import (
 //	breaker_probes_total                half-open probe scans
 //	domains_resumed_total               domains replayed from a checkpoint
 //	checkpoint_errors_total             journal write failures (scan continues)
+//	scan_checkpoint_degraded            1 while the journal has disabled
+//	                                    itself after repeated storage
+//	                                    failures (probes may clear it)
+//	journal_segment_rotations           checkpoint segment rollovers
+//	journal_appends_skipped             appends fast-failed while degraded
 //
 // Performance metric names (see EXPERIMENTS.md "Performance & benchmarking").
 //
@@ -109,15 +114,18 @@ type scanTelemetry struct {
 	workersActive                   *telemetry.Gauge
 	week, population                *telemetry.Gauge
 
-	retries          map[string]*telemetry.Counter
-	retriesExhausted *telemetry.Counter
-	panics, stalls   *telemetry.Counter
-	breakerOpen      *telemetry.Counter
-	breakerGroups    *telemetry.Gauge
-	breakerSkipped   *telemetry.Counter
-	breakerProbes    *telemetry.Counter
-	resumed          *telemetry.Counter
-	checkpointErrors *telemetry.Counter
+	retries            map[string]*telemetry.Counter
+	retriesExhausted   *telemetry.Counter
+	panics, stalls     *telemetry.Counter
+	breakerOpen        *telemetry.Counter
+	breakerGroups      *telemetry.Gauge
+	breakerSkipped     *telemetry.Counter
+	breakerProbes      *telemetry.Counter
+	resumed            *telemetry.Counter
+	checkpointErrors   *telemetry.Counter
+	checkpointDegraded *telemetry.Gauge
+	journalRotations   *telemetry.Gauge
+	journalSkipped     *telemetry.Gauge
 
 	hostileDetected map[string]*telemetry.Counter
 	budgetExceeded  map[string]*telemetry.Counter
@@ -147,20 +155,23 @@ func newScanTelemetry(reg *telemetry.Registry) *scanTelemetry {
 			retryStageDNS:  reg.Counter(telemetry.Name("retries_total", "stage", retryStageDNS)),
 			retryStageConn: reg.Counter(telemetry.Name("retries_total", "stage", retryStageConn)),
 		},
-		retriesExhausted: reg.Counter("retries_exhausted_total"),
-		panics:           reg.Counter("scan_panics_total"),
-		stalls:           reg.Counter("scan_stalls_total"),
-		breakerOpen:      reg.Counter("breaker_open_total"),
-		breakerGroups:    reg.Gauge("breaker_groups_open"),
-		breakerSkipped:   reg.Counter("breaker_skipped_total"),
-		breakerProbes:    reg.Counter("breaker_probes_total"),
-		resumed:          reg.Counter("domains_resumed_total"),
-		checkpointErrors: reg.Counter("checkpoint_errors_total"),
-		hostileDetected:  map[string]*telemetry.Counter{},
-		budgetExceeded:   map[string]*telemetry.Counter{},
-		domainsPerSec:    reg.Gauge("scan_domains_per_sec"),
-		allocBytes:       reg.Gauge("scan_alloc_bytes"),
-		allocObjects:     reg.Gauge("scan_allocs"),
+		retriesExhausted:   reg.Counter("retries_exhausted_total"),
+		panics:             reg.Counter("scan_panics_total"),
+		stalls:             reg.Counter("scan_stalls_total"),
+		breakerOpen:        reg.Counter("breaker_open_total"),
+		breakerGroups:      reg.Gauge("breaker_groups_open"),
+		breakerSkipped:     reg.Counter("breaker_skipped_total"),
+		breakerProbes:      reg.Counter("breaker_probes_total"),
+		resumed:            reg.Counter("domains_resumed_total"),
+		checkpointErrors:   reg.Counter("checkpoint_errors_total"),
+		checkpointDegraded: reg.Gauge("scan_checkpoint_degraded"),
+		journalRotations:   reg.Gauge("journal_segment_rotations"),
+		journalSkipped:     reg.Gauge("journal_appends_skipped"),
+		hostileDetected:    map[string]*telemetry.Counter{},
+		budgetExceeded:     map[string]*telemetry.Counter{},
+		domainsPerSec:      reg.Gauge("scan_domains_per_sec"),
+		allocBytes:         reg.Gauge("scan_alloc_bytes"),
+		allocObjects:       reg.Gauge("scan_allocs"),
 	}
 	for _, class := range errClasses {
 		t.errs[class] = reg.Counter(telemetry.Name("spinscan_conn_errors_total", "class", class))

@@ -91,6 +91,40 @@ func (a *AlertEngine) AddRule(r Rule) {
 	a.gauges[r.Name] = a.reg.Gauge(Name("alert_firing", "alert", r.Name))
 }
 
+// ReplaceRules swaps the engine's rule set atomically (the SIGHUP reload
+// path). Gauges of rules that fired but no longer exist are cleared and a
+// resolution is logged, so a reload can never leave a stale alert_firing
+// gauge stuck at 1. Nil-safe.
+func (a *AlertEngine) ReplaceRules(rules []Rule) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keep := map[string]bool{}
+	a.rules = a.rules[:0]
+	for _, r := range rules {
+		if r.Name == "" || r.Value == nil {
+			continue
+		}
+		a.rules = append(a.rules, r)
+		keep[r.Name] = true
+		if a.gauges[r.Name] == nil {
+			a.gauges[r.Name] = a.reg.Gauge(Name("alert_firing", "alert", r.Name))
+		}
+	}
+	for name, on := range a.firing {
+		if keep[name] || !on {
+			continue
+		}
+		a.firing[name] = false
+		a.gauges[name].Set(0)
+		if a.logf != nil {
+			a.logf("alert resolved: alert=%s (rule removed by reload)", name)
+		}
+	}
+}
+
 // Evaluate measures every rule against a fresh snapshot, flips the firing
 // gauges, logs transitions, and returns the sorted names of currently
 // firing alerts. Nil-safe.

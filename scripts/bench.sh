@@ -144,11 +144,62 @@ check_sharded() { # $1 = scale
     }' "$tmp/shard-$1.txt"
 }
 
+# Journal rotation gate: BenchmarkCampaignJournal runs the journaled
+# fast-engine campaign without and with aggressive 64 KiB segment rotation.
+# Self-relative (no recorded baseline). The binding check is allocs/op —
+# near-deterministic, so "rotation allocates per record" cannot hide — with
+# a +10 % cap; throughput gets a loose 0.70 floor because best-of-3
+# wall-clock on a shared single-core host is ±20 % noisy. The unjournaled
+# hot path is separately gated against BENCH_PR5.json by the
+# BenchmarkCampaign comparison.
+check_journal() { # $1 = scale
+    echo "== BenchmarkCampaignJournal at QUICSPIN_SCALE=$1" >&2
+    QUICSPIN_SCALE=$1 go test -run '^$' -bench '^BenchmarkCampaignJournal$' \
+        -benchmem -benchtime 1x -count 3 . >"$tmp/journal-$1.txt" 2>&1 || {
+        cat "$tmp/journal-$1.txt" >&2
+        exit 1
+    }
+    grep -E '^BenchmarkCampaignJournal/' "$tmp/journal-$1.txt" >&2 || true
+    awk '
+    function keep(key, v, takeMax) {
+        if (!(key in m)) { m[key] = v; return }
+        if (takeMax) { if (v + 0 > m[key] + 0) m[key] = v }
+        else { if (v + 0 < m[key] + 0) m[key] = v }
+    }
+    /^BenchmarkCampaignJournal\// {
+        split($1, parts, "/")
+        j = (parts[2] ~ /^journal(-[0-9]+)?$/) ? "plain" : "rotate"
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "domains/sec") keep(j ",ds", $i, 1)
+            if ($(i + 1) == "allocs/op")   keep(j ",allocs", $i, 0)
+        }
+    }
+    END {
+        ds1 = m["plain,ds"]; ds2 = m["rotate,ds"]
+        a1 = m["plain,allocs"]; a2 = m["rotate,allocs"]
+        if (ds1 == "" || ds2 == "" || a1 == "" || a2 == "") {
+            print "journal benchmark produced no metrics" > "/dev/stderr"
+            exit 1
+        }
+        printf "journal rotation cost: %.0f -> %.0f domains/sec (%.2fx); allocs/op %.0f -> %.0f (%.2fx)\n", \
+            ds1, ds2, ds2 / ds1, a1, a2, a2 / a1
+        if (a2 > a1 * 1.10) {
+            printf "rotating journal allocs/op %.0f vs %.0f non-rotating (> 1.10x): rotation allocates on the hot path\n", a2, a1 > "/dev/stderr"
+            exit 1
+        }
+        if (ds2 < ds1 * 0.70) {
+            printf "rotating journal throughput %.2fx of non-rotating (< 0.70x floor)\n", ds2 / ds1 > "/dev/stderr"
+            exit 1
+        }
+    }' "$tmp/journal-$1.txt"
+}
+
 if [ "$mode" = smoke ]; then
     # A tiny population proves the harness still runs end to end; no
     # comparison — regressions are gated by the full run.
     run_scale 100000
     check_sharded 100000
+    check_journal 100000
     echo "bench smoke OK"
     exit 0
 fi
@@ -157,6 +208,7 @@ run_scale 2000
 run_scale 20000
 if [ "$mode" = check ]; then
     check_sharded 20000
+    check_journal 20000
 fi
 printf '{"scale_2000":%s,"scale_20000":%s}\n' \
     "$(parse_scale 2000)" "$(parse_scale 20000)" | jq . >"$tmp/fresh.json"
