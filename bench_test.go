@@ -23,10 +23,12 @@ import (
 
 	"quicspin/internal/analysis"
 	"quicspin/internal/core"
+	"quicspin/internal/flowtable"
 	"quicspin/internal/resilience"
 	"quicspin/internal/scanner"
 	"quicspin/internal/shard"
 	"quicspin/internal/websim"
+	"quicspin/internal/wire"
 )
 
 var (
@@ -438,4 +440,59 @@ func mustRun(w *websim.World, cfg scanner.Config) *scanner.Result {
 		panic(err)
 	}
 	return r
+}
+
+// BenchmarkFlowtableIngest measures the passive observer's per-packet hot
+// path (internal/flowtable): packets/sec through the fixed-size flow
+// table under steady churn. Every wrap of the prebuilt trace shifts the
+// flow keys into a fresh epoch, so admissions and LRU/idle evictions run
+// continuously, like a live vantage. scripts/bench.sh gates this entry at
+// zero allocs/op.
+func BenchmarkFlowtableIngest(b *testing.B) {
+	const (
+		nFlows  = 64
+		perFlow = 64
+	)
+	// Locally seeded rng: the trace is identical on every run.
+	rng := rand.New(rand.NewSource(42))
+	cidBytes := make([]byte, 8)
+	rng.Read(cidBytes)
+	cid := wire.NewConnectionID(cidBytes)
+	trace := make([]flowtable.Packet, 0, nFlows*perFlow)
+	pns := make([]uint64, nFlows)
+	for p := 0; p < perFlow; p++ {
+		for f := 0; f < nFlows; f++ {
+			hdr := &wire.Header{DstConnID: cid, PacketNumber: pns[f], SpinBit: pns[f]%2 == 1, Reserved: 3}
+			pkt, err := wire.AppendShortHeader(nil, hdr, wire.PingFrame{}.Append(nil), wire.NoAckedPacket)
+			if err != nil {
+				b.Fatalf("building packet: %v", err)
+			}
+			trace = append(trace, flowtable.Packet{Src: uint64(1 + f), Dst: uint64(1) << 32, Data: pkt})
+			pns[f]++
+		}
+	}
+	tbl := flowtable.New(flowtable.Config{Slots: 256, IdleTimeout: time.Hour, DCIDLen: 8})
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	tn := base
+	epoch := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		j := i % len(trace)
+		if j == 0 {
+			epoch += nFlows // fresh flow keys: constant admission + eviction churn
+		}
+		p := &trace[j]
+		tn += int64(time.Millisecond)
+		tbl.Ingest(tn, p.Src+epoch, p.Dst, p.Data)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "packets/sec")
+	}
+	b.StopTimer()
+	if st := tbl.Stats(); st.Samples == 0 && b.N > nFlows*4 {
+		b.Fatalf("benchmark produced no RTT samples: %+v", st)
+	}
 }

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"quicspin/internal/flowtable"
+	"quicspin/internal/report"
+)
+
+// RenderFlowOverview summarises a flowtable snapshot's lifetime counters
+// as one table row: the passive-observation analogue of the campaign
+// progress line.
+func RenderFlowOverview(snap *flowtable.Snapshot) *report.Table {
+	st := snap.Stats
+	t := report.NewTable("Passive observer — flow table",
+		"Active", "Admitted", "EvictIdle", "EvictLRU", "Datagrams", "Packets", "ParseErrs", "Edges", "Samples", "CIDChg")
+	t.AddRow(
+		report.Count(st.ActiveFlows), report.Count(int(st.NewFlows)),
+		report.Count(int(st.EvictedIdle)), report.Count(int(st.EvictedLRU)),
+		report.Count(int(st.Datagrams)), report.Count(int(st.Packets)),
+		report.Count(int(st.ParseErrors)), report.Count(int(st.Edges)),
+		report.Count(int(st.Samples)), report.Count(int(st.CIDChanges)))
+	return t
+}
+
+// RenderFlowHistogram renders the aggregate spin-RTT histogram.
+func RenderFlowHistogram(snap *flowtable.Snapshot) *report.Table {
+	t := report.NewTable("Spin-RTT distribution (all flows)", "Bucket", "Samples")
+	for i, c := range snap.HistCounts {
+		label := "+inf"
+		if i < len(snap.HistBounds) {
+			label = "≤ " + snap.HistBounds[i].String()
+		}
+		t.AddRow(label, report.Count(int(c)))
+	}
+	return t
+}
+
+// RenderSlowestFlows renders the top-K flows by mean spin RTT.
+func RenderSlowestFlows(snap *flowtable.Snapshot) *report.Table {
+	t := report.NewTable("Slowest flows by mean spin RTT",
+		"Flow", "Pkts→", "Pkts←", "Edges", "Samples", "Mean", "Min", "Max", "Last", "Age")
+	for i := range snap.Slowest {
+		f := &snap.Slowest[i]
+		t.AddRow(
+			f.Key,
+			report.Count(int(f.Packets[0])), report.Count(int(f.Packets[1])),
+			report.Count(int(f.Edges[0])+int(f.Edges[1])),
+			report.Count(int(f.Samples)),
+			f.MeanRTT.Round(time.Microsecond).String(),
+			f.MinRTT.Round(time.Microsecond).String(),
+			f.MaxRTT.Round(time.Microsecond).String(),
+			f.LastRTT.Round(time.Microsecond).String(),
+			f.LastSeen.Sub(f.FirstSeen).Round(time.Millisecond).String())
+	}
+	return t
+}
+
+// RenderFlowDashboard renders the full plain-text flow dashboard.
+func RenderFlowDashboard(snap *flowtable.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "passive flow observer — %s\n\n", time.Now().UTC().Format(time.RFC3339))
+	b.WriteString(RenderFlowOverview(snap).String())
+	b.WriteByte('\n')
+	b.WriteString(RenderFlowHistogram(snap).String())
+	b.WriteByte('\n')
+	b.WriteString(RenderSlowestFlows(snap).String())
+	return b.String()
+}
+
+// FlowsHandler serves the flowtable dashboard: plain text by default, the
+// raw snapshot with ?format=json. topK bounds the slowest-flows table
+// (≤ 0 means 10); ?k=N overrides per request up to 100.
+func FlowsHandler(tbl *flowtable.Table, topK int) http.Handler {
+	if topK <= 0 {
+		topK = 10
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		k := topK
+		if v := req.URL.Query().Get("k"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 100 {
+				k = n
+			}
+		}
+		snap := tbl.Snapshot(k, req.URL.Query().Get("flows") == "all")
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(&snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprint(w, RenderFlowDashboard(&snap))
+	})
+}

@@ -1,0 +1,87 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"quicspin/internal/analysis"
+	"quicspin/internal/flowtable"
+	"quicspin/internal/wire"
+)
+
+func seedFlowtable(t *testing.T) *flowtable.Table {
+	t.Helper()
+	tbl := flowtable.New(flowtable.Config{Slots: 64, IdleTimeout: time.Hour, DCIDLen: 8})
+	cid := wire.NewConnectionID([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	for f := 0; f < 3; f++ {
+		tn := base
+		gap := time.Duration(f+1) * 10 * time.Millisecond
+		for pn := uint64(0); pn < 6; pn++ {
+			h := &wire.Header{DstConnID: cid, PacketNumber: pn, SpinBit: pn%2 == 1}
+			pkt, err := wire.AppendShortHeader(nil, h, wire.PingFrame{}.Append(nil), wire.NoAckedPacket)
+			if err != nil {
+				t.Fatalf("building packet: %v", err)
+			}
+			tbl.Ingest(tn, uint64(1+f), uint64(40000+f), pkt)
+			tn += int64(gap)
+		}
+	}
+	return tbl
+}
+
+func TestFlowsHandlerText(t *testing.T) {
+	tbl := seedFlowtable(t)
+	srv := httptest.NewServer(analysis.FlowsHandler(tbl, 5))
+	defer srv.Close()
+
+	rec := httptest.NewRecorder()
+	analysis.FlowsHandler(tbl, 5).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flows", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"Passive observer — flow table",
+		"Spin-RTT distribution",
+		"Slowest flows by mean spin RTT",
+		"30ms", // slowest flow: 30 ms inter-flip gap
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestFlowsHandlerJSON(t *testing.T) {
+	tbl := seedFlowtable(t)
+	rec := httptest.NewRecorder()
+	analysis.FlowsHandler(tbl, 2).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flows?format=json&flows=all", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap flowtable.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	if snap.Stats.ActiveFlows != 3 || len(snap.Flows) != 3 {
+		t.Fatalf("snapshot flows: %+v", snap.Stats)
+	}
+	if len(snap.Slowest) != 2 {
+		t.Fatalf("top-K length %d, want 2", len(snap.Slowest))
+	}
+	if snap.Slowest[0].MeanRTT < snap.Slowest[1].MeanRTT {
+		t.Fatalf("top-K not sorted: %v < %v", snap.Slowest[0].MeanRTT, snap.Slowest[1].MeanRTT)
+	}
+}
+
+func TestRenderFlowDashboardDeterministic(t *testing.T) {
+	tbl := seedFlowtable(t)
+	s1 := tbl.Snapshot(5, true)
+	s2 := tbl.Snapshot(5, true)
+	r1 := analysis.RenderFlowOverview(&s1).String() + analysis.RenderFlowHistogram(&s1).String() + analysis.RenderSlowestFlows(&s1).String()
+	r2 := analysis.RenderFlowOverview(&s2).String() + analysis.RenderFlowHistogram(&s2).String() + analysis.RenderSlowestFlows(&s2).String()
+	if r1 != r2 {
+		t.Fatalf("dashboard render not stable:\n%s\n---\n%s", r1, r2)
+	}
+}

@@ -143,6 +143,75 @@ type ObserverConfig struct {
 	UseVEC bool
 }
 
+// EdgeState is the packed per-direction spin-edge state machine behind the
+// Observer, exported so that fixed-memory observers (internal/flowtable) can
+// embed the exact same semantics in a table slot. It is 24 bytes, holds no
+// pointers, and the zero value is ready to use.
+//
+// Time is carried as UnixNano int64 rather than time.Time so the struct
+// stays flat; in the repo's virtual-time harness the nanosecond difference
+// is identical to time.Time.Sub.
+type EdgeState struct {
+	largestPN uint64
+	lastEdge  int64 // UnixNano of the last valid edge
+	edges     uint32
+	flags     uint8
+}
+
+const (
+	esHaveValue uint8 = 1 << iota
+	esValue
+	esHavePN
+	esHaveEdge
+)
+
+// Step processes one short-header packet: spin value, VEC bits, packet
+// number and arrival time tNanos (UnixNano). guardPN and useVEC correspond
+// to ObserverConfig.UsePacketNumberGuard and UseVEC. It returns the
+// completed RTT in nanoseconds when this packet closes a sample.
+//
+// The branch order replicates Observer.Observe exactly: PN guard, first
+// value capture, value-change detection, VEC validity, edge pairing.
+func (d *EdgeState) Step(guardPN, useVEC bool, tNanos int64, pn uint64, spin bool, vec uint8) (int64, bool) {
+	if guardPN {
+		if d.flags&esHavePN != 0 && pn <= d.largestPN {
+			return 0, false
+		}
+		d.flags |= esHavePN
+		d.largestPN = pn
+	}
+	if d.flags&esHaveValue == 0 {
+		d.flags |= esHaveValue
+		if spin {
+			d.flags |= esValue
+		}
+		return 0, false
+	}
+	if spin == (d.flags&esValue != 0) {
+		return 0, false
+	}
+	d.flags ^= esValue
+	d.edges++
+	if useVEC && vec != VECFullyValid {
+		// Invalid edge: it must not produce a sample, and it also must not
+		// serve as the start of the next one.
+		d.flags &^= esHaveEdge
+		return 0, false
+	}
+	if d.flags&esHaveEdge == 0 {
+		d.flags |= esHaveEdge
+		d.lastEdge = tNanos
+		return 0, false
+	}
+	rtt := tNanos - d.lastEdge
+	d.lastEdge = tNanos
+	return rtt, true
+}
+
+// Edges returns the number of accepted spin transitions seen so far (value
+// changes that survived the packet-number guard, valid or not under VEC).
+func (d *EdgeState) Edges() uint32 { return d.edges }
+
 // Observer is a passive on-path spin-bit observer. Feed it every
 // short-header packet of one flow via Observe and collect RTT samples.
 //
@@ -151,17 +220,8 @@ type ObserverConfig struct {
 // the path sees one edge per direction per round trip).
 type Observer struct {
 	cfg     ObserverConfig
-	dirs    [2]observerDir
+	dirs    [2]EdgeState
 	samples []RTTSample
-}
-
-type observerDir struct {
-	haveValue bool
-	value     bool
-	largestPN uint64
-	havePN    bool
-	lastEdge  time.Time
-	haveEdge  bool
 }
 
 // NewObserver returns an Observer with the given configuration.
@@ -172,42 +232,20 @@ func NewObserver(cfg ObserverConfig) *Observer {
 // Observe processes one short-header packet travelling in dir. It returns
 // the RTT sample completed by this packet, if any.
 func (o *Observer) Observe(dir Direction, obs Observation) (RTTSample, bool) {
-	d := &o.dirs[dir]
-	if o.cfg.UsePacketNumberGuard {
-		if d.havePN && obs.PN <= d.largestPN {
-			return RTTSample{}, false
-		}
-		d.havePN = true
-		d.largestPN = obs.PN
-	}
-	if !d.haveValue {
-		d.haveValue = true
-		d.value = obs.Spin
+	rtt, ok := o.dirs[dir].Step(o.cfg.UsePacketNumberGuard, o.cfg.UseVEC, obs.T.UnixNano(), obs.PN, obs.Spin, obs.VEC)
+	if !ok {
 		return RTTSample{}, false
 	}
-	if obs.Spin == d.value {
-		return RTTSample{}, false
-	}
-	d.value = obs.Spin
-	if o.cfg.UseVEC && obs.VEC != VECFullyValid {
-		// Invalid edge: it must not produce a sample, and it also must not
-		// serve as the start of the next one.
-		d.haveEdge = false
-		return RTTSample{}, false
-	}
-	if !d.haveEdge {
-		d.haveEdge = true
-		d.lastEdge = obs.T
-		return RTTSample{}, false
-	}
-	s := RTTSample{T: obs.T, RTT: obs.T.Sub(d.lastEdge), Dir: dir}
-	d.lastEdge = obs.T
+	s := RTTSample{T: obs.T, RTT: time.Duration(rtt), Dir: dir}
 	if o.cfg.Filter != nil && !o.cfg.Filter.Accept(s.RTT) {
 		s.Filtered = true
 	}
 	o.samples = append(o.samples, s)
 	return s, true
 }
+
+// Edges returns the number of accepted spin transitions observed in dir.
+func (o *Observer) Edges(dir Direction) uint32 { return o.dirs[dir].Edges() }
 
 // Samples returns every sample produced so far, including filtered ones.
 // The slice aliases internal state and must not be modified.

@@ -1,0 +1,83 @@
+package flowtable_test
+
+import (
+	"testing"
+	"time"
+
+	"quicspin/internal/flowtable"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/wire"
+)
+
+// TestIngestZeroAlloc gates the steady-state per-packet path at zero heap
+// allocations — the Tofino-style line-rate budget. The flow is admitted
+// before measurement and every measured packet flips the spin bit, so the
+// full hot path runs: header parse, slot lookup, EdgeState step, sample
+// aggregation, and telemetry export.
+func TestIngestZeroAlloc(t *testing.T) {
+	reg := telemetry.New()
+	tbl := flowtable.New(flowtable.Config{Slots: 256, IdleTimeout: time.Hour, DCIDLen: 8, Telemetry: reg})
+	cid := wire.NewConnectionID([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+
+	const runs = 200
+	pkts := make([][]byte, runs+10)
+	for i := range pkts {
+		h := &wire.Header{DstConnID: cid, PacketNumber: uint64(i), SpinBit: i%2 == 1, Reserved: 3}
+		b, err := wire.AppendShortHeader(nil, h, wire.PingFrame{}.Append(nil), wire.NoAckedPacket)
+		if err != nil {
+			t.Fatalf("building packet: %v", err)
+		}
+		pkts[i] = b
+	}
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	// Admit the flow so measurement starts in steady state.
+	tbl.Ingest(base, 7, 8, pkts[0])
+
+	idx := 1
+	tn := base
+	allocs := testing.AllocsPerRun(runs, func() {
+		tn += int64(time.Millisecond)
+		tbl.Ingest(tn, 7, 8, pkts[idx])
+		idx++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Ingest allocates %.1f times per packet, want 0", allocs)
+	}
+	if st := tbl.Stats(); st.Samples == 0 {
+		t.Fatalf("alloc gate measured a path that produced no samples: %+v", st)
+	}
+}
+
+// TestIngestBatchZeroAlloc gates the batched path the netem tap and UDP
+// mirror use: one lock, N packets, still zero allocations.
+func TestIngestBatchZeroAlloc(t *testing.T) {
+	tbl := flowtable.New(flowtable.Config{Slots: 256, IdleTimeout: time.Hour, DCIDLen: 8})
+	cid := wire.NewConnectionID([]byte{8, 7, 6, 5, 4, 3, 2, 1})
+	const runs = 100
+	const batchLen = 16
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	batches := make([][]flowtable.Packet, runs+10)
+	pn := uint64(0)
+	for i := range batches {
+		batch := make([]flowtable.Packet, batchLen)
+		for j := range batch {
+			h := &wire.Header{DstConnID: cid, PacketNumber: pn, SpinBit: pn%2 == 1}
+			b, err := wire.AppendShortHeader(nil, h, wire.PingFrame{}.Append(nil), wire.NoAckedPacket)
+			if err != nil {
+				t.Fatalf("building packet: %v", err)
+			}
+			batch[j] = flowtable.Packet{TNanos: base + int64(pn)*1e6, Src: 9, Dst: 10, Data: b}
+			pn++
+		}
+		batches[i] = batch
+	}
+	tbl.IngestBatch(batches[0])
+	idx := 1
+	allocs := testing.AllocsPerRun(runs, func() {
+		tbl.IngestBatch(batches[idx])
+		idx++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state IngestBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,158 @@
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stats is the table's lifetime counter block.
+type Stats struct {
+	ActiveFlows int
+	NewFlows    uint64
+	EvictedIdle uint64
+	EvictedLRU  uint64
+	Datagrams   uint64
+	Packets     uint64
+	ParseErrors uint64
+	Samples     uint64
+	Edges       uint64
+	CIDChanges  uint64
+}
+
+// FlowSnapshot is the exported view of one tracked flow.
+type FlowSnapshot struct {
+	// Key identifies the flow (hex of the unordered address-hash pair).
+	Key string
+	// Initiator is the address hash of the flow's first sender.
+	Initiator uint64
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Packets and Edges are indexed by core.Direction.
+	Packets [2]uint64
+	Edges   [2]uint32
+	Samples uint64
+	MeanRTT time.Duration
+	MinRTT  time.Duration
+	MaxRTT  time.Duration
+	LastRTT time.Duration
+	// CIDChanges counts mid-flow destination connection ID changes.
+	CIDChanges uint32
+}
+
+// Snapshot is a point-in-time export of the table: counters, the fixed
+// aggregate RTT histogram, and the top-K slowest flows by mean RTT.
+type Snapshot struct {
+	Stats Stats
+	// HistBounds/HistCounts is the aggregate sample histogram; the last
+	// count is the +inf overflow bucket.
+	HistBounds []time.Duration
+	HistCounts []uint64
+	// Slowest holds up to K flows ordered by descending mean RTT (flows
+	// without samples excluded). Ties break on Key for stable output.
+	Slowest []FlowSnapshot
+	// Flows is every active flow in slot order (only filled when the
+	// snapshot was taken with all=true).
+	Flows []FlowSnapshot
+}
+
+func (s *slot) snapshot() FlowSnapshot {
+	fs := FlowSnapshot{
+		Key:        fmt.Sprintf("%016x-%016x", s.key.lo, s.key.hi),
+		Initiator:  s.initiator,
+		FirstSeen:  time.Unix(0, s.firstSeen),
+		LastSeen:   time.Unix(0, s.lastSeen),
+		Packets:    s.packets,
+		Edges:      [2]uint32{s.dirs[0].Edges(), s.dirs[1].Edges()},
+		Samples:    s.samples,
+		MinRTT:     time.Duration(s.minRTT),
+		MaxRTT:     time.Duration(s.maxRTT),
+		LastRTT:    time.Duration(s.lastRTT),
+		CIDChanges: s.cidChanges,
+	}
+	if s.samples > 0 {
+		fs.MeanRTT = time.Duration(s.sumRTT / int64(s.samples))
+	}
+	return fs
+}
+
+// Stats returns the lifetime counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.statsLocked()
+}
+
+func (t *Table) statsLocked() Stats {
+	return Stats{
+		ActiveFlows: t.active,
+		NewFlows:    t.newFlows,
+		EvictedIdle: t.evictIdle,
+		EvictedLRU:  t.evictLRU,
+		Datagrams:   t.datagrams,
+		Packets:     t.packets,
+		ParseErrors: t.parseErrors,
+		Samples:     t.totSamples,
+		Edges:       t.totEdges,
+		CIDChanges:  t.cidChanges,
+	}
+}
+
+// Len returns the number of active flows.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Lookup returns the snapshot of the flow between addresses hashed a and
+// b, if tracked.
+func (t *Table) Lookup(a, b uint64) (FlowSnapshot, bool) {
+	key := makeKey(a, b)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.lookup(key, key.mix()); s != nil {
+		return s.snapshot(), true
+	}
+	return FlowSnapshot{}, false
+}
+
+// Snapshot exports the table state. k bounds the slowest-flows list; with
+// all=true every active flow is included in Flows (slot order, which is
+// deterministic for a deterministic ingest order).
+func (t *Table) Snapshot(k int, all bool) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := Snapshot{
+		Stats:      t.statsLocked(),
+		HistBounds: RTTBucketBounds,
+		HistCounts: append([]uint64(nil), t.histCounts[:]...),
+	}
+	var sampled []FlowSnapshot
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		fs := s.snapshot()
+		if all {
+			snap.Flows = append(snap.Flows, fs)
+		}
+		if k > 0 && fs.Samples > 0 {
+			sampled = append(sampled, fs)
+		}
+	}
+	if k > 0 {
+		sort.Slice(sampled, func(i, j int) bool {
+			if sampled[i].MeanRTT != sampled[j].MeanRTT {
+				return sampled[i].MeanRTT > sampled[j].MeanRTT
+			}
+			return sampled[i].Key < sampled[j].Key
+		})
+		if len(sampled) > k {
+			sampled = sampled[:k]
+		}
+		snap.Slowest = sampled
+	}
+	return snap
+}

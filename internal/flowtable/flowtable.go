@@ -1,0 +1,435 @@
+// Package flowtable implements a fixed-memory passive spin-bit observer for
+// many concurrent QUIC flows, in the spirit of the Tofino line-rate tracker
+// (PAPERS.md: "Tracking the QUIC Spin Bit on Tofino"): a fixed-size
+// open-addressed table keyed by the flow's address pair, per-flow spin/VEC
+// edge state packed into a few cache-line-sized words, and LRU/idle
+// eviction inside a bounded probe window so memory never grows with load.
+//
+// Per-direction edge semantics are shared verbatim with the reference
+// core.Observer via core.EdgeState, so on an eviction-free trace the
+// flowtable's RTT samples and spin-edge counts match the full observer
+// exactly (see TestFlowtableMatchesObserver).
+package flowtable
+
+import (
+	"sync"
+	"time"
+
+	"quicspin/internal/core"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/wire"
+)
+
+// Defaults used when the corresponding Config field is zero.
+const (
+	DefaultSlots       = 4096
+	DefaultMaxProbe    = 8
+	DefaultIdleTimeout = 30 * time.Second
+	DefaultDCIDLen     = 8
+)
+
+// RTTBucketBounds are the upper bounds of the table's fixed aggregate RTT
+// histogram. The final implicit bucket is +inf.
+var RTTBucketBounds = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second,
+}
+
+const nRTTBuckets = 12 // len(RTTBucketBounds) + 1 overflow bucket
+
+// Config tunes a Table. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Slots is the table capacity; rounded up to a power of two.
+	Slots int
+	// MaxProbe bounds the linear-probe window. An insert that finds the
+	// whole window occupied by live flows evicts the least-recently-seen
+	// one, so MaxProbe is also the worst-case per-packet work.
+	MaxProbe int
+	// IdleTimeout evicts flows with no traffic for this long. Idle slots
+	// are reclaimed lazily on collision and eagerly by SweepIdle.
+	IdleTimeout time.Duration
+	// DCIDLen is the connection-ID length assumed when parsing short
+	// headers (the repo's transport always issues DefaultConnIDLen-byte
+	// CIDs).
+	DCIDLen int
+	// NoPNGuard disables the packet-number edge guard (RFC 9312 §4.2).
+	// A real observer of encrypted traffic cannot read packet numbers;
+	// the netem vantage can, so the guard defaults to on.
+	NoPNGuard bool
+	// UseVEC requires VEC == 3 (fully valid) on measurement edges.
+	UseVEC bool
+	// Telemetry optionally receives live counters, gauges and an RTT
+	// histogram. Nil disables export at zero hot-path cost.
+	Telemetry *telemetry.Registry
+}
+
+// flowKey is the unordered pair of endpoint address hashes: packets of
+// both directions of one flow map to the same key.
+type flowKey struct{ lo, hi uint64 }
+
+func makeKey(a, b uint64) flowKey {
+	if a <= b {
+		return flowKey{a, b}
+	}
+	return flowKey{b, a}
+}
+
+// mix finalizes the key pair into a table index hash (splitmix64-style).
+func (k flowKey) mix() uint64 {
+	x := k.lo ^ (k.hi * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// slot is one flow's complete observer state: key, direction bookkeeping,
+// the two core.EdgeState machines, and running RTT aggregates. It holds no
+// pointers and fits in a few cache lines, the Tofino-style memory budget.
+type slot struct {
+	key       flowKey
+	initiator uint64 // address hash of the first datagram's sender
+	firstSeen int64
+	lastSeen  int64
+
+	dirs    [2]core.EdgeState
+	largest [2]uint64 // largest short-header PN per direction (expansion)
+	havePN  [2]bool
+	dcid    [2]uint64 // hash of the last DCID seen per direction
+	haveCID [2]bool
+
+	packets    [2]uint64
+	samples    uint64
+	sumRTT     int64
+	minRTT     int64
+	maxRTT     int64
+	lastRTT    int64
+	cidChanges uint32
+	used       bool
+}
+
+func (s *slot) reset(k flowKey, initiator uint64, now int64) {
+	*s = slot{key: k, initiator: initiator, firstSeen: now, lastSeen: now, used: true}
+}
+
+// Table is a fixed-size open-addressed flow table. All methods are safe
+// for concurrent use; the steady-state ingest path performs zero heap
+// allocations.
+type Table struct {
+	mu      sync.Mutex
+	cfg     Config
+	mask    uint64
+	slots   []slot
+	scratch wire.Header
+
+	active     int
+	histCounts [nRTTBuckets]uint64
+
+	// lifetime totals (mirrored to telemetry when configured)
+	newFlows    uint64
+	evictIdle   uint64
+	evictLRU    uint64
+	datagrams   uint64
+	packets     uint64
+	parseErrors uint64
+	totSamples  uint64
+	totEdges    uint64
+	cidChanges  uint64
+
+	mActive    *telemetry.Gauge
+	mFlows     *telemetry.Counter
+	mEvictIdle *telemetry.Counter
+	mEvictLRU  *telemetry.Counter
+	mPackets   *telemetry.Counter
+	mParseErr  *telemetry.Counter
+	mSamples   *telemetry.Counter
+	mEdges     *telemetry.Counter
+	mCIDChange *telemetry.Counter
+	mRTT       *telemetry.Histogram
+}
+
+// New returns a Table for cfg, applying defaults to zero fields.
+func New(cfg Config) *Table {
+	if cfg.Slots <= 0 {
+		cfg.Slots = DefaultSlots
+	}
+	n := 1
+	for n < cfg.Slots {
+		n <<= 1
+	}
+	cfg.Slots = n
+	if cfg.MaxProbe <= 0 {
+		cfg.MaxProbe = DefaultMaxProbe
+	}
+	if cfg.MaxProbe > cfg.Slots {
+		cfg.MaxProbe = cfg.Slots
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.DCIDLen <= 0 {
+		cfg.DCIDLen = DefaultDCIDLen
+	}
+	t := &Table{cfg: cfg, mask: uint64(n - 1), slots: make([]slot, n)}
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Describe(map[string]string{
+			"flowtable_active_flows":  "Flows currently tracked in the table.",
+			"flowtable_flows_total":   "Flows ever admitted to the table.",
+			"flowtable_evicted_total": "Flows evicted, by reason (idle, lru).",
+			"flowtable_packets_total": "QUIC packets parsed from tapped datagrams.",
+			"flowtable_parse_errors":  "Datagrams whose header parse failed.",
+			"flowtable_samples_total": "Spin-bit RTT samples produced.",
+			"flowtable_edges_total":   "Accepted spin transitions observed.",
+			"flowtable_cid_changes":   "Mid-flow destination connection ID changes.",
+			"flowtable_rtt_seconds":   "Spin-bit RTT sample distribution.",
+		})
+		t.mActive = reg.Gauge("flowtable_active_flows")
+		t.mFlows = reg.Counter("flowtable_flows_total")
+		t.mEvictIdle = reg.Counter(telemetry.Name("flowtable_evicted_total", "reason", "idle"))
+		t.mEvictLRU = reg.Counter(telemetry.Name("flowtable_evicted_total", "reason", "lru"))
+		t.mPackets = reg.Counter("flowtable_packets_total")
+		t.mParseErr = reg.Counter("flowtable_parse_errors")
+		t.mSamples = reg.Counter("flowtable_samples_total")
+		t.mEdges = reg.Counter("flowtable_edges_total")
+		t.mCIDChange = reg.Counter("flowtable_cid_changes")
+		t.mRTT = reg.Histogram("flowtable_rtt_seconds", telemetry.DurationBuckets)
+	}
+	return t
+}
+
+// Packet is one tapped datagram for batched ingest. Src and Dst are
+// endpoint address hashes (see HashAddr).
+type Packet struct {
+	TNanos   int64
+	Src, Dst uint64
+	Data     []byte
+}
+
+// Ingest processes one tapped datagram sent from src to dst at tNanos
+// (UnixNano). Coalesced long-header packets are walked the same way the
+// conformance harness walks them; spin state advances on short headers.
+func (t *Table) Ingest(tNanos int64, src, dst uint64, data []byte) {
+	t.mu.Lock()
+	t.ingestLocked(tNanos, src, dst, data)
+	t.mu.Unlock()
+}
+
+// IngestBatch processes a batch under a single lock acquisition.
+func (t *Table) IngestBatch(batch []Packet) {
+	t.mu.Lock()
+	for i := range batch {
+		p := &batch[i]
+		t.ingestLocked(p.TNanos, p.Src, p.Dst, p.Data)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Table) ingestLocked(tNanos int64, src, dst uint64, data []byte) {
+	t.datagrams++
+	key := makeKey(src, dst)
+	idx := key.mix()
+	s := t.lookup(key, idx)
+	if s != nil && tNanos-s.lastSeen > int64(t.cfg.IdleTimeout) {
+		// The flow's slot outlived its idle timeout: whatever arrives now
+		// is treated as a new flow (the old one is evicted in place).
+		t.evictIdle++
+		t.mEvictIdle.Inc()
+		t.admit(s, key, src, tNanos)
+	}
+	rest := data
+	for len(rest) > 0 {
+		largest := wire.NoAckedPacket
+		if s != nil && !wire.IsLongHeader(rest[0]) {
+			dir := s.direction(src)
+			if s.havePN[dir] {
+				largest = s.largest[dir]
+			}
+		}
+		_, consumed, err := wire.ParseHeaderInto(&t.scratch, rest, t.cfg.DCIDLen, largest)
+		if err != nil {
+			t.parseErrors++
+			t.mParseErr.Inc()
+			return
+		}
+		if s == nil {
+			// Admit the flow lazily, on the first parseable packet, so
+			// garbage datagrams never cost a slot.
+			s = t.insert(key, idx, src, tNanos)
+		}
+		t.packets++
+		t.mPackets.Inc()
+		dir := s.direction(src)
+		s.packets[dir]++
+		s.lastSeen = tNanos
+		h := &t.scratch
+		if !h.IsLong {
+			ch := hashCID(h.DstConnID)
+			if s.haveCID[dir] && s.dcid[dir] != ch {
+				s.cidChanges++
+				t.cidChanges++
+				t.mCIDChange.Inc()
+			}
+			s.dcid[dir] = ch
+			s.haveCID[dir] = true
+			if !s.havePN[dir] || h.PacketNumber > s.largest[dir] {
+				s.havePN[dir] = true
+				s.largest[dir] = h.PacketNumber
+			}
+			e0 := s.dirs[dir].Edges()
+			rtt, ok := s.dirs[dir].Step(!t.cfg.NoPNGuard, t.cfg.UseVEC, tNanos, h.PacketNumber, h.SpinBit, h.Reserved)
+			if d := s.dirs[dir].Edges() - e0; d != 0 {
+				t.totEdges++
+				t.mEdges.Inc()
+			}
+			if ok {
+				t.record(s, rtt)
+			}
+		}
+		if consumed >= len(rest) {
+			return
+		}
+		rest = rest[consumed:]
+	}
+}
+
+func (t *Table) record(s *slot, rtt int64) {
+	if s.samples == 0 || rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	if s.samples == 0 || rtt > s.maxRTT {
+		s.maxRTT = rtt
+	}
+	s.samples++
+	s.sumRTT += rtt
+	s.lastRTT = rtt
+	t.totSamples++
+	t.histCounts[bucketFor(rtt)]++
+	t.mSamples.Inc()
+	t.mRTT.Observe(float64(rtt) / 1e9)
+}
+
+func bucketFor(rtt int64) int {
+	for i, b := range RTTBucketBounds {
+		if rtt <= int64(b) {
+			return i
+		}
+	}
+	return nRTTBuckets - 1
+}
+
+// lookup scans the full probe window for key. There are no tombstones:
+// eviction replaces a slot in place, so occupancy gaps inside a window
+// only ever come from slots that were never filled.
+func (t *Table) lookup(key flowKey, idx uint64) *slot {
+	for i := 0; i < t.cfg.MaxProbe; i++ {
+		s := &t.slots[(idx+uint64(i))&t.mask]
+		if s.used && s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// insert claims a slot for a new flow: the first empty slot in the probe
+// window, else the first idle-expired one, else the least-recently-seen
+// (ties broken by probe order, keeping eviction deterministic).
+func (t *Table) insert(key flowKey, idx uint64, initiator uint64, now int64) *slot {
+	var idle, lru *slot
+	for i := 0; i < t.cfg.MaxProbe; i++ {
+		s := &t.slots[(idx+uint64(i))&t.mask]
+		if !s.used {
+			t.active++
+			t.mActive.Add(1)
+			t.admit(s, key, initiator, now)
+			return s
+		}
+		if idle == nil && now-s.lastSeen > int64(t.cfg.IdleTimeout) {
+			idle = s
+		}
+		if lru == nil || s.lastSeen < lru.lastSeen {
+			lru = s
+		}
+	}
+	victim := idle
+	if victim != nil {
+		t.evictIdle++
+		t.mEvictIdle.Inc()
+	} else {
+		victim = lru
+		t.evictLRU++
+		t.mEvictLRU.Inc()
+	}
+	t.admit(victim, key, initiator, now)
+	return victim
+}
+
+func (t *Table) admit(s *slot, key flowKey, initiator uint64, now int64) {
+	s.reset(key, initiator, now)
+	t.newFlows++
+	t.mFlows.Inc()
+}
+
+func (s *slot) direction(src uint64) core.Direction {
+	if src == s.initiator {
+		return core.ClientToServer
+	}
+	return core.ServerToClient
+}
+
+// SweepIdle evicts every flow idle longer than the configured timeout as
+// of now, returning how many were evicted. Meant for a periodic ticker;
+// the ingest path also reclaims idle slots lazily on collision.
+func (t *Table) SweepIdle(now time.Time) int {
+	nNanos := now.UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evicted := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.used && nNanos-s.lastSeen > int64(t.cfg.IdleTimeout) {
+			*s = slot{}
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		t.active -= evicted
+		t.mActive.Add(int64(-evicted))
+		t.evictIdle += uint64(evicted)
+		t.mEvictIdle.Add(int64(evicted))
+	}
+	return evicted
+}
+
+// hashCID hashes a connection ID with FNV-1a.
+func hashCID(c wire.ConnectionID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range c.Bytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashAddr hashes an endpoint address string with FNV-1a for use as an
+// ingest Src/Dst. Allocation-free.
+func HashAddr(addr string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Tap returns a function with the netem.TapFunc signature that feeds every
+// delivered datagram into the table. Attach it with netem.Network.SetTap.
+func (t *Table) Tap() func(now time.Time, from, to string, data []byte) {
+	return func(now time.Time, from, to string, data []byte) {
+		t.Ingest(now.UnixNano(), HashAddr(from), HashAddr(to), data)
+	}
+}

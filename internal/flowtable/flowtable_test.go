@@ -1,0 +1,297 @@
+package flowtable_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"quicspin/internal/flowtable"
+	"quicspin/internal/telemetry"
+	"quicspin/internal/wire"
+)
+
+// shortPkt builds one short-header datagram with an 8-byte connection ID.
+func shortPkt(t testing.TB, cid wire.ConnectionID, pn uint64, spin bool, vec uint8) []byte {
+	t.Helper()
+	hdr := &wire.Header{DstConnID: cid, SpinBit: spin, PacketNumber: pn, Reserved: vec}
+	pkt, err := wire.AppendShortHeader(nil, hdr, wire.PingFrame{}.Append(nil), wire.NoAckedPacket)
+	if err != nil {
+		t.Fatalf("building packet: %v", err)
+	}
+	return pkt
+}
+
+func cidFor(rng *rand.Rand) wire.ConnectionID {
+	b := make([]byte, 8)
+	rng.Read(b)
+	return wire.NewConnectionID(b)
+}
+
+// checkConservation asserts the table's flow accounting invariant: every
+// admitted flow is either still active or accounted by an eviction counter
+// — no lost, no duplicated flows.
+func checkConservation(t *testing.T, tbl *flowtable.Table) {
+	t.Helper()
+	st := tbl.Stats()
+	if got := st.NewFlows - st.EvictedIdle - st.EvictedLRU; got != uint64(st.ActiveFlows) {
+		t.Fatalf("flow conservation broken: new %d - evicted %d+%d = %d, active %d",
+			st.NewFlows, st.EvictedIdle, st.EvictedLRU, got, st.ActiveFlows)
+	}
+}
+
+func TestInsertLookupRandomKeys(t *testing.T) {
+	const nFlows = 300
+	tbl := flowtable.New(flowtable.Config{Slots: 1024, IdleTimeout: time.Hour, DCIDLen: 8})
+	rng := rand.New(rand.NewSource(11))
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	type flow struct{ src, dst uint64 }
+	flows := make([]flow, nFlows)
+	seen := map[flow]bool{}
+	for i := range flows {
+		for {
+			f := flow{rng.Uint64(), rng.Uint64()}
+			if f.src != f.dst && !seen[f] {
+				flows[i] = f
+				seen[f] = true
+				break
+			}
+		}
+	}
+	cid := cidFor(rng)
+	for round := 0; round < 3; round++ {
+		for i, f := range flows {
+			pkt := shortPkt(t, cid, uint64(round), round%2 == 1, 0)
+			tbl.Ingest(base+int64(i+round*nFlows)*int64(time.Millisecond), f.src, f.dst, pkt)
+		}
+	}
+	st := tbl.Stats()
+	if st.ActiveFlows != nFlows || st.NewFlows != nFlows {
+		t.Fatalf("expected %d active flows admitted once, got %+v", nFlows, st)
+	}
+	checkConservation(t, tbl)
+	for _, f := range flows {
+		fs, ok := tbl.Lookup(f.src, f.dst)
+		if !ok {
+			t.Fatalf("flow %v lost", f)
+		}
+		if fs.Packets[0] != 3 {
+			t.Fatalf("flow %v saw %d packets, want 3", f, fs.Packets[0])
+		}
+		// The unordered key must match from the responder's perspective too.
+		if back, ok := tbl.Lookup(f.dst, f.src); !ok || back.Key != fs.Key {
+			t.Fatalf("reverse lookup of %v failed", f)
+		}
+	}
+}
+
+func TestCollisionHeavyKeysConserveFlows(t *testing.T) {
+	// Far more flows than slots: every probe window overflows, evictions
+	// are constant, and still no flow may be lost or double-counted.
+	const nFlows = 500
+	tbl := flowtable.New(flowtable.Config{Slots: 16, MaxProbe: 4, IdleTimeout: time.Hour, DCIDLen: 8})
+	rng := rand.New(rand.NewSource(12))
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	cid := cidFor(rng)
+	for i := 0; i < nFlows; i++ {
+		pkt := shortPkt(t, cid, 0, false, 0)
+		tbl.Ingest(base+int64(i)*int64(time.Millisecond), rng.Uint64(), rng.Uint64(), pkt)
+	}
+	st := tbl.Stats()
+	if st.ActiveFlows > 16 {
+		t.Fatalf("active flows %d exceed table capacity 16", st.ActiveFlows)
+	}
+	if st.EvictedLRU == 0 {
+		t.Fatalf("expected LRU evictions under 500 flows / 16 slots: %+v", st)
+	}
+	if st.NewFlows != nFlows {
+		t.Fatalf("admitted %d flows, want %d", st.NewFlows, nFlows)
+	}
+	checkConservation(t, tbl)
+}
+
+func TestEvictionDeterministic(t *testing.T) {
+	run := func() string {
+		tbl := flowtable.New(flowtable.Config{Slots: 32, MaxProbe: 2, IdleTimeout: time.Minute, DCIDLen: 8})
+		rng := rand.New(rand.NewSource(13))
+		base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+		cid := cidFor(rng)
+		for i := 0; i < 400; i++ {
+			f := rng.Intn(80)
+			pkt := shortPkt(t, cid, uint64(i), i%2 == 1, 0)
+			// A quarter of the traffic arrives after long gaps, triggering
+			// idle reclaims as well as LRU pressure.
+			gap := int64(time.Millisecond)
+			if rng.Intn(4) == 0 {
+				gap = int64(2 * time.Minute)
+			}
+			base += gap
+			tbl.Ingest(base, uint64(100+f), uint64(90000+f), pkt)
+		}
+		snap := tbl.Snapshot(10, true)
+		return fmt.Sprintf("%+v", snap)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("seeded eviction workload not deterministic:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestIdleEvictionAndSweep(t *testing.T) {
+	tbl := flowtable.New(flowtable.Config{Slots: 64, IdleTimeout: time.Second, DCIDLen: 8})
+	rng := rand.New(rand.NewSource(14))
+	cid := cidFor(rng)
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+	pkt := shortPkt(t, cid, 0, false, 0)
+
+	tbl.Ingest(base.UnixNano(), 1, 2, pkt)
+	if st := tbl.Stats(); st.ActiveFlows != 1 || st.NewFlows != 1 {
+		t.Fatalf("after first packet: %+v", st)
+	}
+	// Same pair returns long after the idle timeout: the stale slot is
+	// reclaimed in place and the traffic admits a fresh flow.
+	later := base.Add(5 * time.Second)
+	tbl.Ingest(later.UnixNano(), 1, 2, shortPkt(t, cid, 1, true, 0))
+	st := tbl.Stats()
+	if st.NewFlows != 2 || st.EvictedIdle != 1 || st.ActiveFlows != 1 {
+		t.Fatalf("idle reclaim on return: %+v", st)
+	}
+	fs, ok := tbl.Lookup(1, 2)
+	if !ok || fs.Packets[0] != 1 || !fs.FirstSeen.Equal(later) {
+		t.Fatalf("reclaimed flow should restart fresh: %+v ok=%v", fs, ok)
+	}
+	// A second flow goes idle and SweepIdle reaps it eagerly.
+	tbl.Ingest(later.UnixNano(), 3, 4, pkt)
+	if n := tbl.SweepIdle(later.Add(10 * time.Second)); n != 2 {
+		t.Fatalf("sweep evicted %d flows, want 2", n)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("table not empty after sweep: %d", tbl.Len())
+	}
+	checkConservation(t, tbl)
+}
+
+func TestCIDChangeCounted(t *testing.T) {
+	tbl := flowtable.New(flowtable.Config{Slots: 64, IdleTimeout: time.Hour, DCIDLen: 8})
+	rng := rand.New(rand.NewSource(15))
+	c1, c2 := cidFor(rng), cidFor(rng)
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	tbl.Ingest(base, 1, 2, shortPkt(t, c1, 0, false, 0))
+	tbl.Ingest(base+1e6, 1, 2, shortPkt(t, c1, 1, false, 0))
+	tbl.Ingest(base+2e6, 1, 2, shortPkt(t, c2, 2, false, 0)) // mid-flow CID change
+	tbl.Ingest(base+3e6, 2, 1, shortPkt(t, c1, 0, false, 0)) // other direction: no change yet
+	fs, ok := tbl.Lookup(1, 2)
+	if !ok {
+		t.Fatalf("flow lost")
+	}
+	if fs.CIDChanges != 1 {
+		t.Fatalf("CID changes = %d, want 1", fs.CIDChanges)
+	}
+	if fs.Packets[0] != 3 || fs.Packets[1] != 1 {
+		t.Fatalf("direction split wrong: %v", fs.Packets)
+	}
+}
+
+func TestGarbageDoesNotAdmitFlows(t *testing.T) {
+	tbl := flowtable.New(flowtable.Config{Slots: 64, DCIDLen: 8})
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	tbl.Ingest(base, 1, 2, nil)
+	tbl.Ingest(base, 1, 2, []byte{0x00})             // fixed bit clear
+	tbl.Ingest(base, 3, 4, []byte{0x40})             // truncated short header
+	tbl.Ingest(base, 5, 6, []byte{0x40, 0x01, 0x02}) // still truncated
+	st := tbl.Stats()
+	if st.ActiveFlows != 0 || st.NewFlows != 0 {
+		t.Fatalf("garbage admitted flows: %+v", st)
+	}
+	// The empty datagram never reaches the parser; the other three fail.
+	if st.ParseErrors != 3 {
+		t.Fatalf("parse errors = %d, want 3", st.ParseErrors)
+	}
+}
+
+func TestConcurrentIngestBatch(t *testing.T) {
+	reg := telemetry.New()
+	tbl := flowtable.New(flowtable.Config{Slots: 256, IdleTimeout: time.Hour, DCIDLen: 8, Telemetry: reg})
+	const (
+		nWorkers = 8
+		nBatches = 50
+		batchLen = 20
+	)
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			cid := cidFor(rng)
+			for b := 0; b < nBatches; b++ {
+				batch := make([]flowtable.Packet, batchLen)
+				for i := range batch {
+					f := uint64(rng.Intn(40)) // overlapping flow space across workers
+					pn := uint64(b*batchLen + i)
+					batch[i] = flowtable.Packet{
+						TNanos: base + int64(pn)*int64(time.Millisecond),
+						Src:    10 + f,
+						Dst:    100000 + f,
+						Data:   shortPkt(t, cid, pn, pn%2 == 1, 0),
+					}
+				}
+				tbl.IngestBatch(batch)
+			}
+		}()
+	}
+	wg.Wait()
+	st := tbl.Stats()
+	want := uint64(nWorkers * nBatches * batchLen)
+	if st.Datagrams != want {
+		t.Fatalf("ingested %d datagrams, want %d", st.Datagrams, want)
+	}
+	if st.Packets+st.ParseErrors < want {
+		t.Fatalf("packets %d + parse errors %d < datagrams %d", st.Packets, st.ParseErrors, want)
+	}
+	checkConservation(t, tbl)
+	// Telemetry mirrors the table's own counters.
+	if got := reg.Counter("flowtable_packets_total").Value(); uint64(got) != st.Packets {
+		t.Fatalf("telemetry packets %d != stats %d", got, st.Packets)
+	}
+	if got := reg.Gauge("flowtable_active_flows").Value(); int(got) != st.ActiveFlows {
+		t.Fatalf("telemetry active %d != stats %d", got, st.ActiveFlows)
+	}
+}
+
+func TestSnapshotTopK(t *testing.T) {
+	tbl := flowtable.New(flowtable.Config{Slots: 64, IdleTimeout: time.Hour, DCIDLen: 8})
+	rng := rand.New(rand.NewSource(16))
+	cid := cidFor(rng)
+	base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+	// Three flows with distinct RTTs: the spin flips every packet, so the
+	// inter-packet gap is the measured RTT.
+	gaps := []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, 20 * time.Millisecond}
+	for f, gap := range gaps {
+		tn := base
+		for pn := uint64(0); pn < 6; pn++ {
+			tbl.Ingest(tn, uint64(1+f), uint64(70000+f), shortPkt(t, cid, pn, pn%2 == 1, 0))
+			tn += int64(gap)
+		}
+	}
+	snap := tbl.Snapshot(2, true)
+	if len(snap.Flows) != 3 {
+		t.Fatalf("snapshot has %d flows, want 3", len(snap.Flows))
+	}
+	if len(snap.Slowest) != 2 {
+		t.Fatalf("top-K has %d flows, want 2", len(snap.Slowest))
+	}
+	if snap.Slowest[0].MeanRTT != 50*time.Millisecond || snap.Slowest[1].MeanRTT != 20*time.Millisecond {
+		t.Fatalf("top-K order wrong: %v then %v", snap.Slowest[0].MeanRTT, snap.Slowest[1].MeanRTT)
+	}
+	// Histogram counts add up to the total sample count.
+	var histTotal uint64
+	for _, c := range snap.HistCounts {
+		histTotal += c
+	}
+	if histTotal != snap.Stats.Samples {
+		t.Fatalf("histogram total %d != samples %d", histTotal, snap.Stats.Samples)
+	}
+}

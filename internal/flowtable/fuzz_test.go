@@ -1,0 +1,73 @@
+package flowtable_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quicspin/internal/flowtable"
+	"quicspin/internal/wire"
+)
+
+// FuzzFlowIngest throws hostile datagrams — runts, mangled short headers,
+// grease bits, mid-flow CID changes — at a small table that already tracks
+// three well-behaved sentinel flows. The ingest path must never panic, and
+// the fuzz traffic (a distinct fourth flow in a table with free slots, so
+// no eviction can touch the sentinels) must never corrupt neighboring
+// slots: the sentinels' exported state must be byte-identical afterwards.
+func FuzzFlowIngest(f *testing.F) {
+	seed := func(cid []byte, pn uint64, spin bool, vec uint8) []byte {
+		h := &wire.Header{DstConnID: wire.NewConnectionID(cid), PacketNumber: pn, SpinBit: spin, Reserved: vec}
+		b, err := wire.AppendShortHeader(nil, h, []byte{0x01}, wire.NoAckedPacket)
+		if err != nil {
+			f.Fatalf("seed packet: %v", err)
+		}
+		return b
+	}
+	f.Add(seed([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 1, true, 3))
+	f.Add(seed([]byte{8, 7, 6, 5, 4, 3, 2, 1}, 9, false, 1))
+	f.Add([]byte{0x40})       // runt short header
+	f.Add([]byte{0x00, 0xff}) // fixed bit clear
+	f.Add([]byte{0xc3, 0x00, 0x00, 0x00, 0x01})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := flowtable.New(flowtable.Config{Slots: 64, IdleTimeout: time.Hour, DCIDLen: 8})
+		base := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC).UnixNano()
+		sentinels := [][2]uint64{{11, 21}, {12, 22}, {13, 23}}
+		for i, s := range sentinels {
+			cid := []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}
+			for pn := uint64(0); pn < 4; pn++ {
+				tbl.Ingest(base+int64(pn)*1e6, s[0], s[1], seed(cid, pn, pn%2 == 1, 3))
+			}
+		}
+		before := make([]string, len(sentinels))
+		for i, s := range sentinels {
+			fs, ok := tbl.Lookup(s[0], s[1])
+			if !ok {
+				t.Fatalf("sentinel %d missing before fuzz input", i)
+			}
+			before[i] = fmt.Sprintf("%+v", fs)
+		}
+
+		// The fuzz flow: same payload delivered twice in each direction so
+		// mid-flow CID tracking and both direction paths execute.
+		tbl.Ingest(base+10e6, 99, 100, data)
+		tbl.Ingest(base+11e6, 100, 99, data)
+		tbl.Ingest(base+12e6, 99, 100, data)
+
+		for i, s := range sentinels {
+			fs, ok := tbl.Lookup(s[0], s[1])
+			if !ok {
+				t.Fatalf("sentinel %d lost after fuzz input %x", i, data)
+			}
+			if got := fmt.Sprintf("%+v", fs); got != before[i] {
+				t.Fatalf("sentinel %d corrupted by fuzz input %x:\nbefore: %s\nafter:  %s", i, data, before[i], got)
+			}
+		}
+		st := tbl.Stats()
+		if st.ActiveFlows > 64 {
+			t.Fatalf("active flows %d exceed capacity", st.ActiveFlows)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package udprun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Mirror is a passive datagram reader: it pumps a PacketConn and hands
+// every received datagram to a sink without ever transmitting. This is the
+// real-socket vantage for on-path observation (cmd/spinwatch): point QUIC
+// traffic — or a port-mirror replay of it — at the socket and observe.
+type Mirror struct {
+	pc   net.PacketConn
+	sink func(now time.Time, from string, data []byte)
+}
+
+// NewMirror wraps pc; every datagram is delivered to sink with the wall
+// arrival time and the sender address. The data slice is only valid for
+// the duration of the call (the sink must not retain it).
+func NewMirror(pc net.PacketConn, sink func(now time.Time, from string, data []byte)) *Mirror {
+	return &Mirror{pc: pc, sink: sink}
+}
+
+// Run pumps the socket until the context is cancelled or a socket error
+// occurs. It blocks; run it in its own goroutine if needed.
+func (m *Mirror) Run(ctx context.Context) error {
+	buf := make([]byte, readChunk)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := m.pc.SetReadDeadline(time.Now().Add(pollGranularity)); err != nil {
+			return fmt.Errorf("udprun: set deadline: %w", err)
+		}
+		n, from, err := m.pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("udprun: mirror read: %w", err)
+		}
+		m.sink(time.Now(), from.String(), buf[:n])
+	}
+}

@@ -194,12 +194,52 @@ check_journal() { # $1 = scale
     }' "$tmp/journal-$1.txt"
 }
 
+# Flow-table ingest gate: BenchmarkFlowtableIngest pushes a churning
+# packet trace through the passive observer's fixed-size table.
+# Self-relative and absolute: allocs/op must be exactly 0 (the line-rate
+# contract, same as TestIngestZeroAlloc but measured on the benchmark
+# trace with admissions and evictions running), and the packets/sec
+# figure is recorded to stderr for the log.
+check_flowtable() {
+    echo "== BenchmarkFlowtableIngest" >&2
+    go test -run '^$' -bench '^BenchmarkFlowtableIngest$' \
+        -benchmem -benchtime 200000x -count 3 . >"$tmp/flowtable.txt" 2>&1 || {
+        cat "$tmp/flowtable.txt" >&2
+        exit 1
+    }
+    grep -E '^BenchmarkFlowtableIngest' "$tmp/flowtable.txt" >&2 || true
+    awk '
+    function keep(key, v, takeMax) {
+        if (!(key in m)) { m[key] = v; return }
+        if (takeMax) { if (v + 0 > m[key] + 0) m[key] = v }
+        else { if (v + 0 < m[key] + 0) m[key] = v }
+    }
+    /^BenchmarkFlowtableIngest/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "packets/sec") keep("pps", $i, 1)
+            if ($(i + 1) == "allocs/op")   keep("allocs", $i, 1)
+        }
+    }
+    END {
+        if (m["pps"] == "" || m["allocs"] == "") {
+            print "flowtable benchmark produced no metrics" > "/dev/stderr"
+            exit 1
+        }
+        printf "flowtable ingest: %.0f packets/sec, %.0f allocs/op\n", m["pps"], m["allocs"]
+        if (m["allocs"] + 0 != 0) {
+            printf "flowtable ingest allocates (%.0f allocs/op, want 0)\n", m["allocs"] > "/dev/stderr"
+            exit 1
+        }
+    }' "$tmp/flowtable.txt"
+}
+
 if [ "$mode" = smoke ]; then
     # A tiny population proves the harness still runs end to end; no
     # comparison — regressions are gated by the full run.
     run_scale 100000
     check_sharded 100000
     check_journal 100000
+    check_flowtable
     echo "bench smoke OK"
     exit 0
 fi
@@ -209,6 +249,7 @@ run_scale 20000
 if [ "$mode" = check ]; then
     check_sharded 20000
     check_journal 20000
+    check_flowtable
 fi
 printf '{"scale_2000":%s,"scale_20000":%s}\n' \
     "$(parse_scale 2000)" "$(parse_scale 20000)" | jq . >"$tmp/fresh.json"

@@ -50,6 +50,7 @@ cov_floor ./internal/scanner 75
 cov_floor ./internal/websim 75
 cov_floor ./internal/analysis 75
 cov_floor ./internal/shard 75
+cov_floor ./internal/flowtable 75
 
 # Benchmark smoke: prove the BenchmarkCampaign harness (the input to
 # scripts/bench.sh and BENCH_PR5.json) still runs; the full regression gate
@@ -72,6 +73,7 @@ fuzz_smoke ./internal/qlog FuzzQlogParse
 fuzz_smoke ./internal/h3 FuzzH3Request
 fuzz_smoke ./internal/analysis FuzzAccumulatorUnmarshal
 fuzz_smoke ./internal/shard FuzzSubmissionFrame
+fuzz_smoke ./internal/flowtable FuzzFlowIngest
 
 # Interrupt-and-resume smoke: SIGKILL a real spinscan campaign mid-run,
 # resume it from the checkpoint journal, and require the rendered tables to
@@ -247,6 +249,12 @@ done
 echo "== zero-alloc tracing gate"
 go test -count=1 -run 'TestDisabledTracingZeroAlloc' ./internal/trace
 
+# Zero-alloc flowtable gate: the passive observer's per-packet path must
+# stay allocation-free in steady state (the line-rate contract); a named
+# plain run so a regression is attributable at a glance.
+echo "== zero-alloc flowtable gate"
+go test -count=1 -run 'TestIngestZeroAlloc|TestIngestBatchZeroAlloc' ./internal/flowtable
+
 # Live dashboard smoke: run a traced campaign with the debug endpoint on an
 # ephemeral port and scrape /debug/campaign and /debug/traces mid-scan —
 # both must answer 200 with a non-empty rolling window / trace list.
@@ -290,5 +298,58 @@ if [ "$trace_code" != 200 ] || ! grep -q '"domain"' "$tmp/traces.json"; then
 fi
 kill "$dash_pid" 2>/dev/null || true
 wait "$dash_pid" 2>/dev/null || true
+
+# Spinwatch service smoke: run the passive observer against an emulated
+# netem tap mid-campaign, curl its flow telemetry until the table reports
+# spin-RTT samples, then SIGTERM it and require the graceful-drain exit
+# code 143 (matching the follow-mode contract).
+echo "== spinwatch service smoke"
+go build -o "$tmp/spinwatch" ./cmd/spinwatch
+"$tmp/spinwatch" -debug-addr 127.0.0.1:0 -seed 11 -clients 4 -servers 2 \
+    >/dev/null 2>"$tmp/watch.log" &
+watch_pid=$!
+watch_addr=""
+i=0
+while [ -z "$watch_addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "spinwatch debug endpoint never announced itself:" >&2
+        cat "$tmp/watch.log" >&2
+        exit 1
+    fi
+    watch_addr=$(sed -n 's|.*debug endpoint on http://\([^ ]*\).*|\1|p' "$tmp/watch.log" | head -1)
+    [ -n "$watch_addr" ] || sleep 0.05
+done
+watch_ok=0
+i=0
+while [ "$i" -lt 200 ] && kill -0 "$watch_pid" 2>/dev/null; do
+    i=$((i + 1))
+    code=$(curl -s -o "$tmp/flows.json" -w '%{http_code}' \
+        "http://$watch_addr/debug/flows?format=json" || true)
+    # Non-zero samples prove the tap feeds the flow table mid-campaign.
+    if [ "$code" = 200 ] && grep -q '"Samples": [1-9]' "$tmp/flows.json"; then
+        watch_ok=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$watch_ok" != 1 ]; then
+    echo "/debug/flows never reported spin-RTT samples" >&2
+    cat "$tmp/watch.log" >&2
+    exit 1
+fi
+ready_code=$(curl -s -o /dev/null -w '%{http_code}' "http://$watch_addr/readyz" || true)
+if [ "$ready_code" != 200 ]; then
+    echo "/readyz returned $ready_code with flows active, want 200" >&2
+    exit 1
+fi
+kill -TERM "$watch_pid" 2>/dev/null || true
+watch_rc=0
+wait "$watch_pid" || watch_rc=$?
+if [ "$watch_rc" != 143 ]; then
+    echo "spinwatch SIGTERM exit $watch_rc, want 143:" >&2
+    cat "$tmp/watch.log" >&2
+    exit 1
+fi
 
 echo "OK"
